@@ -1,0 +1,168 @@
+package micstream
+
+import (
+	"io"
+
+	"micstream/internal/core"
+	"micstream/internal/device"
+	"micstream/internal/experiments"
+	"micstream/internal/hstreams"
+	"micstream/internal/pcie"
+	"micstream/internal/sim"
+)
+
+// Core offload primitives, re-exported from the runtime layer.
+type (
+	// Stream is one logical FIFO pipeline bound to a device
+	// partition; see Platform.Stream.
+	Stream = hstreams.Stream
+	// Event marks the completion of an enqueued action and can gate
+	// actions on other streams.
+	Event = hstreams.Event
+	// Buffer is a typed allocation visible to host and devices.
+	Buffer = hstreams.Buffer
+	// KernelCtx is passed to kernel bodies in the functional model.
+	KernelCtx = hstreams.KernelCtx
+	// KernelCost describes a kernel invocation to the timing model.
+	KernelCost = device.KernelCost
+	// DeviceConfig parameterizes the coprocessor model.
+	DeviceConfig = device.Config
+	// LinkConfig parameterizes the PCIe model.
+	LinkConfig = pcie.Config
+	// Time is a point in virtual time (nanoseconds).
+	Time = sim.Time
+	// Duration is a span of virtual time (nanoseconds).
+	Duration = sim.Duration
+)
+
+// Pipeline layer, re-exported from the core package.
+type (
+	// Task is one tiled-offload unit: input transfers, a kernel, and
+	// output transfers, with optional dependencies on other tasks.
+	Task = core.Task
+	// TransferSpec names a buffer range a task moves.
+	TransferSpec = core.TransferSpec
+	// Result summarizes a run (wall time, GFLOPS, overlap metrics).
+	Result = core.Result
+	// PhaseEvents indexes the completion events of an enqueued phase.
+	PhaseEvents = core.PhaseEvents
+	// SearchSpace is a (partitions × tiles) tuning space.
+	SearchSpace = core.SearchSpace
+	// TuneResult is the outcome of a granularity search.
+	TuneResult = core.TuneResult
+	// EvalFunc measures one (P, T) configuration for the tuner.
+	EvalFunc = core.EvalFunc
+)
+
+// Alloc1D registers a host slice as a buffer usable by every device of
+// the platform; D2H transfers write back into it.
+func Alloc1D[T any](p *Platform, name string, host []T) *Buffer {
+	return hstreams.Alloc1D(p.ctx, name, host)
+}
+
+// AllocVirtual registers a data-less buffer (element count × element
+// size) for timing-only experiments.
+func AllocVirtual(p *Platform, name string, elems, elemSize int) *Buffer {
+	return hstreams.AllocVirtual(p.ctx, name, elems, elemSize)
+}
+
+// DeviceSlice returns buffer b's device-resident shadow on device
+// devIdx (functional model).
+func DeviceSlice[T any](b *Buffer, devIdx int) []T {
+	return hstreams.DeviceSlice[T](b, devIdx)
+}
+
+// HostSlice returns buffer b's host-side slice.
+func HostSlice[T any](b *Buffer) []T { return hstreams.HostSlice[T](b) }
+
+// Xfer builds an ungated transfer spec over [off, off+n) of buf.
+func Xfer(buf *Buffer, off, n int) TransferSpec { return core.Xfer(buf, off, n) }
+
+// XferAfter builds a transfer spec gated on another task's completion
+// (cross-device staging).
+func XferAfter(buf *Buffer, off, n, afterTask int) TransferSpec {
+	return core.XferAfter(buf, off, n, afterTask)
+}
+
+// EnqueuePhase enqueues tasks onto the platform's streams without
+// synchronizing; see the core package for ordering rules.
+func EnqueuePhase(p *Platform, tasks []*Task) (*PhaseEvents, error) {
+	return core.EnqueuePhase(p.ctx, tasks)
+}
+
+// RunTasks enqueues tasks, waits for completion, and summarizes the
+// run. flops (optional, 0 to skip) enables the GFLOPS metric.
+func RunTasks(p *Platform, tasks []*Task, flops float64) (Result, error) {
+	return core.Run(p.ctx, tasks, flops)
+}
+
+// Tune evaluates every point of a search space and returns the fastest
+// configuration.
+func Tune(space SearchSpace, eval EvalFunc) (TuneResult, error) {
+	return core.Tune(space, eval)
+}
+
+// TuneCoordinateDescent searches one axis at a time (O(|P|+|T|) per
+// round) — the search-cost reduction beyond the paper's pruning rules.
+func TuneCoordinateDescent(space SearchSpace, eval EvalFunc, rounds int) (TuneResult, error) {
+	return core.TuneCoordinateDescent(space, eval, rounds)
+}
+
+// ExhaustiveSpace is the unpruned [1,maxP] × [1,maxT] tuning space.
+func ExhaustiveSpace(maxP, maxT int) SearchSpace { return core.ExhaustiveSpace(maxP, maxT) }
+
+// HeuristicSpace is the paper's §V-C pruned space: P restricted to
+// divisors of the usable core count, T to multiples of P.
+func HeuristicSpace(usableCores, maxT int) SearchSpace {
+	return core.HeuristicSpace(usableCores, maxT)
+}
+
+// CandidatePartitions returns the pruned resource-granularity
+// candidates for a device (divisors of its usable core count).
+func CandidatePartitions(cfg DeviceConfig) []int { return core.CandidatePartitions(cfg) }
+
+// CandidateTiles returns the pruned task-granularity candidates for a
+// partition count (multiples of P, thinned geometrically).
+func CandidateTiles(p, maxTiles int) []int { return core.CandidateTiles(p, maxTiles) }
+
+// RunExperiment regenerates one of the paper's figures (e.g. "fig5",
+// "fig9a", "fig11", "heuristics") and renders it to w as an aligned
+// text table.
+func RunExperiment(id string, w io.Writer) error {
+	return runExperiment(id, w, false)
+}
+
+// RunExperimentCSV regenerates a figure as CSV for plotting tools.
+func RunExperimentCSV(id string, w io.Writer) error {
+	return runExperiment(id, w, true)
+}
+
+func runExperiment(id string, w io.Writer, csv bool) error {
+	g, ok := experiments.Lookup(id)
+	if !ok {
+		return &UnknownExperimentError{ID: id}
+	}
+	t, err := g()
+	if err != nil {
+		return err
+	}
+	if csv {
+		return t.FprintCSV(w)
+	}
+	return t.Fprint(w)
+}
+
+// ExperimentIDs lists every regenerable figure.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// UnknownExperimentError reports a RunExperiment id that is not in the
+// registry.
+type UnknownExperimentError struct {
+	// ID is the unrecognized experiment id.
+	ID string
+}
+
+// Error implements the error interface.
+func (e *UnknownExperimentError) Error() string {
+	return "micstream: unknown experiment " + e.ID
+}

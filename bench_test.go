@@ -1,0 +1,150 @@
+package micstream
+
+// One testing.B benchmark per figure of the paper's evaluation. Each
+// iteration regenerates the complete figure (every series and sweep
+// point) through the experiment harness, so
+//
+//	go test -bench=Fig -benchtime=1x
+//
+// reproduces the entire evaluation section. The heavy sweeps take
+// seconds per iteration; benchmark time measures the simulator, not
+// the modeled platform (whose virtual times are inside the tables).
+
+import (
+	"io"
+	"testing"
+
+	"micstream/internal/experiments"
+)
+
+// benchFigure runs one experiment generator per iteration and reports
+// the number of data points produced.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	g, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t, err := g()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(t.Rows)
+		if err := t.Fprint(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// Microbenchmark level (§IV).
+
+func BenchmarkFig05TransferOverlap(b *testing.B) { benchFigure(b, "fig5") }
+func BenchmarkFig06ComputeOverlap(b *testing.B)  { benchFigure(b, "fig6") }
+func BenchmarkFig07PartitionSweep(b *testing.B)  { benchFigure(b, "fig7") }
+
+// Application level, streamed vs non-streamed (§V-A, Fig. 8).
+
+func BenchmarkFig08aMM(b *testing.B)      { benchFigure(b, "fig8a") }
+func BenchmarkFig08bCF(b *testing.B)      { benchFigure(b, "fig8b") }
+func BenchmarkFig08cKmeans(b *testing.B)  { benchFigure(b, "fig8c") }
+func BenchmarkFig08dHotspot(b *testing.B) { benchFigure(b, "fig8d") }
+func BenchmarkFig08eNN(b *testing.B)      { benchFigure(b, "fig8e") }
+func BenchmarkFig08fSRAD(b *testing.B)    { benchFigure(b, "fig8f") }
+
+// Resource granularity (§V-B-1, Fig. 9).
+
+func BenchmarkFig09aMMPartitions(b *testing.B)      { benchFigure(b, "fig9a") }
+func BenchmarkFig09bCFPartitions(b *testing.B)      { benchFigure(b, "fig9b") }
+func BenchmarkFig09cKmeansPartitions(b *testing.B)  { benchFigure(b, "fig9c") }
+func BenchmarkFig09dHotspotPartitions(b *testing.B) { benchFigure(b, "fig9d") }
+func BenchmarkFig09eNNPartitions(b *testing.B)      { benchFigure(b, "fig9e") }
+func BenchmarkFig09fSRADPartitions(b *testing.B)    { benchFigure(b, "fig9f") }
+
+// Task granularity (§V-B-2, Fig. 10).
+
+func BenchmarkFig10aMMTiles(b *testing.B)      { benchFigure(b, "fig10a") }
+func BenchmarkFig10bCFTiles(b *testing.B)      { benchFigure(b, "fig10b") }
+func BenchmarkFig10cKmeansTiles(b *testing.B)  { benchFigure(b, "fig10c") }
+func BenchmarkFig10dHotspotTiles(b *testing.B) { benchFigure(b, "fig10d") }
+func BenchmarkFig10eNNTiles(b *testing.B)      { benchFigure(b, "fig10e") }
+func BenchmarkFig10fSRADTiles(b *testing.B)    { benchFigure(b, "fig10f") }
+
+// Multi-MIC (§VI, Fig. 11) and the §V-C search-space study.
+
+func BenchmarkFig11MultiMIC(b *testing.B) { benchFigure(b, "fig11") }
+func BenchmarkTunerSearch(b *testing.B)   { benchFigure(b, "heuristics") }
+
+// Ablations of the model's load-bearing terms and extensions beyond
+// the paper (see EXPERIMENTS.md §Extensions).
+
+func BenchmarkAblationDuplex(b *testing.B)      { benchFigure(b, "ablation-duplex") }
+func BenchmarkAblationContention(b *testing.B)  { benchFigure(b, "ablation-contention") }
+func BenchmarkAblationAlloc(b *testing.B)       { benchFigure(b, "ablation-alloc") }
+func BenchmarkExtHotspotPipelined(b *testing.B) { benchFigure(b, "ext-hotspot-pipe") }
+func BenchmarkExtMultiMICScaling(b *testing.B)  { benchFigure(b, "ext-multimic") }
+func BenchmarkExtTaxonomy(b *testing.B)         { benchFigure(b, "ext-taxonomy") }
+
+// Engine-level microbenchmarks: the cost of the simulation substrate
+// itself (events, reservations, enqueues).
+
+func BenchmarkEnqueueKernel(b *testing.B) {
+	p, err := NewPlatform(WithPartitions(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost := KernelCost{Name: "k", Flops: 1e6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Stream(i%4).EnqueueKernel(cost, i, nil)
+		if i%1024 == 1023 {
+			p.Barrier()
+		}
+	}
+	p.Barrier()
+}
+
+func BenchmarkEnqueueTransfer(b *testing.B) {
+	p, err := NewPlatform(WithPartitions(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := AllocVirtual(p, "v", 1<<20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Stream(i%4).EnqueueH2D(buf, 0, buf.Len(), i); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			p.Barrier()
+		}
+	}
+	p.Barrier()
+}
+
+func BenchmarkPipelineThroughput(b *testing.B) {
+	// End-to-end cost of simulating one 64-task pipelined offload.
+	for i := 0; i < b.N; i++ {
+		p, err := NewPlatform(WithPartitions(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := AllocVirtual(p, "v", 64<<20, 1)
+		var tasks []*Task
+		per := buf.Len() / 64
+		for t := 0; t < 64; t++ {
+			tasks = append(tasks, &Task{
+				ID:         t,
+				H2D:        []TransferSpec{Xfer(buf, t*per, per)},
+				Cost:       KernelCost{Name: "k", Flops: 1e8},
+				D2H:        []TransferSpec{Xfer(buf, t*per, per)},
+				StreamHint: -1,
+			})
+		}
+		if _, err := RunTasks(p, tasks, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command micbench regenerates the figures of "Evaluating the
+// Performance Impact of Multiple Streams on the MIC-based
+// Heterogeneous Platform" (Li et al., 2016) on the simulated platform.
+//
+// Usage:
+//
+//	micbench -list                 # show available experiments
+//	micbench -fig 9a               # regenerate one figure
+//	micbench -all                  # regenerate every figure
+//
+// Figure ids accept both "9a" and "fig9a" spellings. Output is a
+// plain-text table per figure, with the same rows/series the paper
+// plots and notes documenting any protocol deviation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"micstream"
+)
+
+func main() {
+	var (
+		fig  = flag.String("fig", "", "figure to regenerate (e.g. 5, 9a, fig10f, heuristics)")
+		all  = flag.Bool("all", false, "regenerate every figure")
+		list = flag.Bool("list", false, "list available experiments")
+		csv  = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	render := micstream.RunExperiment
+	if *csv {
+		render = micstream.RunExperimentCSV
+	}
+	switch {
+	case *list:
+		for _, id := range micstream.ExperimentIDs() {
+			fmt.Println(id)
+		}
+	case *all:
+		for i, id := range micstream.ExperimentIDs() {
+			if i > 0 {
+				fmt.Println()
+			}
+			if err := render(id, os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	case *fig != "":
+		id := strings.ToLower(*fig)
+		err := render(id, os.Stdout)
+		if _, unknown := err.(*micstream.UnknownExperimentError); unknown {
+			// Accept the short spelling: "9a" for "fig9a".
+			err = render("fig"+id, os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "micbench:", err)
+	os.Exit(1)
+}

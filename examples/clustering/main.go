@@ -1,0 +1,155 @@
+// Clustering: an iterative, non-overlappable workload (the paper's
+// Kmeans) that still profits from multiple streams.
+//
+// Every iteration broadcasts centroids, assigns points on the device,
+// pulls back per-task partials and recomputes centroids on the host —
+// a hard synchronization per iteration, so transfers cannot hide
+// behind kernels. The win comes from the per-launch temporary-memory
+// allocation whose cost grows with the partition's thread count
+// (§V-B-1): narrow partitions allocate less, in parallel.
+//
+//	go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"micstream"
+)
+
+const (
+	points     = 100_000
+	features   = 8
+	k          = 4
+	iterations = 30
+)
+
+// cluster runs Lloyd's algorithm on the platform and returns the final
+// centroids and the virtual wall time.
+func cluster(partitions, tasks int) ([]float64, micstream.Duration) {
+	p, err := micstream.NewPlatform(
+		micstream.WithPartitions(partitions),
+		micstream.WithFunctionalKernels(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three well-separated blobs plus noise, deterministic.
+	pts := make([]float64, points*features)
+	for i := 0; i < points; i++ {
+		blob := i % 3
+		for f := 0; f < features; f++ {
+			pts[i*features+f] = float64(blob*10) + float64((i*31+f*17)%100)/100
+		}
+	}
+	centroids := make([]float64, k*features)
+	copy(centroids, pts[:k*features])
+	partials := make([]float64, tasks*(k*features+k))
+
+	bufPts := micstream.Alloc1D(p, "points", pts)
+	bufCen := micstream.Alloc1D(p, "centroids", centroids)
+	bufPar := micstream.Alloc1D(p, "partials", partials)
+
+	// Points go up once and stay resident.
+	if _, err := p.Stream(0).EnqueueH2D(bufPts, 0, len(pts), -1); err != nil {
+		log.Fatal(err)
+	}
+	start := p.Barrier()
+
+	plen := k*features + k
+	for iter := 0; iter < iterations; iter++ {
+		phase := []*micstream.Task{{
+			ID:           0,
+			H2D:          []micstream.TransferSpec{micstream.Xfer(bufCen, 0, k*features)},
+			StreamHint:   -1,
+			TransferOnly: true,
+		}}
+		for t := 0; t < tasks; t++ {
+			lo := t * points / tasks
+			hi := (t + 1) * points / tasks
+			t, lo, hi := t, lo, hi
+			phase = append(phase, &micstream.Task{
+				ID: t + 1,
+				Cost: micstream.KernelCost{
+					Name:                "assign",
+					Flops:               3 * float64(hi-lo) * float64(k) * float64(features),
+					AllocBytesPerThread: 160 << 10,
+					Efficiency:          0.0465,
+				},
+				Body: func(kc *micstream.KernelCtx) {
+					dp := micstream.DeviceSlice[float64](bufPts, kc.DeviceIndex)
+					dc := micstream.DeviceSlice[float64](bufCen, kc.DeviceIndex)
+					out := micstream.DeviceSlice[float64](bufPar, kc.DeviceIndex)
+					base := t * plen
+					for i := base; i < base+plen; i++ {
+						out[i] = 0
+					}
+					for i := lo; i < hi; i++ {
+						best, bestD := 0, math.Inf(1)
+						for c := 0; c < k; c++ {
+							d := 0.0
+							for f := 0; f < features; f++ {
+								diff := dp[i*features+f] - dc[c*features+f]
+								d += diff * diff
+							}
+							if d < bestD {
+								best, bestD = c, d
+							}
+						}
+						for f := 0; f < features; f++ {
+							out[base+best*features+f] += dp[i*features+f]
+						}
+						out[base+k*features+best]++
+					}
+				},
+				D2H:        []micstream.TransferSpec{micstream.Xfer(bufPar, t*plen, plen)},
+				DependsOn:  []int{0},
+				StreamHint: -1,
+			})
+		}
+		if _, err := micstream.EnqueuePhase(p, phase); err != nil {
+			log.Fatal(err)
+		}
+		p.Barrier()
+
+		// Host: fold partials into new centroids.
+		for c := 0; c < k; c++ {
+			count := 0.0
+			sum := make([]float64, features)
+			for t := 0; t < tasks; t++ {
+				count += partials[t*plen+k*features+c]
+				for f := 0; f < features; f++ {
+					sum[f] += partials[t*plen+c*features+f]
+				}
+			}
+			if count > 0 {
+				for f := 0; f < features; f++ {
+					centroids[c*features+f] = sum[f] / count
+				}
+			}
+		}
+		p.HostWork(50_000, "update centroids")
+	}
+	return centroids, micstream.Duration(p.Barrier() - start)
+}
+
+func main() {
+	fmt.Printf("kmeans: %d points, %d features, k=%d, %d iterations\n\n",
+		points, features, k, iterations)
+
+	base, baseTime := cluster(1, 1)
+	streamed, streamedTime := cluster(4, 4)
+
+	for i := range base {
+		if math.Abs(base[i]-streamed[i]) > 1e-9 {
+			log.Fatalf("configurations disagree at centroid coord %d: %v vs %v", i, base[i], streamed[i])
+		}
+	}
+	fmt.Printf("non-streamed (P=1, T=1): %v\n", baseTime)
+	fmt.Printf("streamed     (P=4, T=4): %v\n", streamedTime)
+	fmt.Printf("speedup: %.2fx — identical centroids, no overlap involved:\n", baseTime.Seconds()/streamedTime.Seconds())
+	fmt.Println("narrow partitions slash the per-launch allocation that scales with thread count.")
+}

@@ -1,0 +1,146 @@
+// Imaging: a multi-kernel iterative pipeline with per-iteration host
+// decisions — the paper's SRAD shape — showing spatial sharing and the
+// L2-residency effect behind its "unexpected" large-image win.
+//
+// Each iteration runs a device reduction (image statistics), a host
+// step that turns the statistics into a threshold, and a device filter
+// gated on that threshold. Kernels of one phase run concurrently on
+// different partitions (spatial sharing); phases synchronize.
+//
+//	go run ./examples/imaging
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"micstream"
+)
+
+const (
+	dim        = 512
+	iterations = 8
+	tasks      = 16
+)
+
+func main() {
+	p, err := micstream.NewPlatform(
+		micstream.WithPartitions(4),
+		micstream.WithFunctionalKernels(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A deterministic "noisy" image: smooth ramp plus salt.
+	img := make([]float64, dim*dim)
+	for i := range img {
+		img[i] = float64(i%dim) / dim * 100
+		if i%97 == 0 {
+			img[i] += 150 // speckle
+		}
+	}
+	noisy := countAbove(img, 120)
+
+	bufImg := micstream.Alloc1D(p, "img", img)
+	partials := make([]float64, 2*tasks)
+	bufStats := micstream.Alloc1D(p, "stats", partials)
+
+	if _, err := p.Stream(0).EnqueueH2D(bufImg, 0, dim*dim, -1); err != nil {
+		log.Fatal(err)
+	}
+	start := p.Barrier()
+
+	rows := func(t int) (int, int) { return t * dim / tasks, (t + 1) * dim / tasks }
+
+	for iter := 0; iter < iterations; iter++ {
+		// Phase 1: per-task statistics (sum, sum²).
+		var phase []*micstream.Task
+		for t := 0; t < tasks; t++ {
+			lo, hi := rows(t)
+
+			phase = append(phase, &micstream.Task{
+				ID:   t,
+				Cost: micstream.KernelCost{Name: "stats", Flops: 2 * float64((hi-lo)*dim), Bytes: 8 * float64((hi-lo)*dim), Efficiency: 0.05},
+				Body: func(k *micstream.KernelCtx) {
+					dev := micstream.DeviceSlice[float64](bufImg, k.DeviceIndex)
+					st := micstream.DeviceSlice[float64](bufStats, k.DeviceIndex)
+					var s, s2 float64
+					for i := lo * dim; i < hi*dim; i++ {
+						s += dev[i]
+						s2 += dev[i] * dev[i]
+					}
+					st[2*t], st[2*t+1] = s, s2
+				},
+				D2H:        []micstream.TransferSpec{micstream.Xfer(bufStats, 2*t, 2)},
+				StreamHint: -1,
+			})
+		}
+		if _, err := micstream.EnqueuePhase(p, phase); err != nil {
+			log.Fatal(err)
+		}
+		p.Barrier()
+
+		// Host: derive this iteration's clamp threshold.
+		var sum float64
+		for t := 0; t < tasks; t++ {
+			sum += partials[2*t]
+		}
+		mean := sum / float64(dim*dim)
+		threshold := mean * 1.8
+		p.HostWork(30_000, "threshold")
+
+		// Phase 2: clamp-and-diffuse filter, tiled, spatial sharing
+		// only (cache-sensitive: small tiles stay L2-resident).
+		phase = phase[:0]
+		for t := 0; t < tasks; t++ {
+			lo, hi := rows(t)
+			phase = append(phase, &micstream.Task{
+				ID: t,
+				Cost: micstream.KernelCost{
+					Name:            "filter",
+					Flops:           6 * float64((hi-lo)*dim),
+					Bytes:           48 * float64((hi-lo)*dim),
+					WorkingSetBytes: int64((hi - lo) * dim * 16),
+					CacheSensitive:  true,
+					FitBonus:        0.3,
+					Efficiency:      0.05,
+				},
+				Body: func(k *micstream.KernelCtx) {
+					dev := micstream.DeviceSlice[float64](bufImg, k.DeviceIndex)
+					for i := lo * dim; i < hi*dim; i++ {
+						if dev[i] > threshold {
+							dev[i] = threshold
+						}
+					}
+				},
+				StreamHint: -1,
+			})
+		}
+		if _, err := micstream.EnqueuePhase(p, phase); err != nil {
+			log.Fatal(err)
+		}
+		p.Barrier()
+	}
+
+	if _, err := p.Stream(0).EnqueueD2H(bufImg, 0, dim*dim, -1); err != nil {
+		log.Fatal(err)
+	}
+	wall := p.Barrier() - start
+
+	fmt.Printf("imaging pipeline: %dx%d image, %d iterations, %d tasks on 4 partitions\n",
+		dim, dim, iterations, tasks)
+	fmt.Printf("speckles above threshold: %d before, %d after\n", noisy, countAbove(img, 120))
+	fmt.Printf("virtual time: %v (transfer/compute overlap %.0f%%: only the tiny per-phase partials)\n",
+		micstream.Duration(wall), p.OverlapFraction()*100)
+}
+
+func countAbove(img []float64, v float64) int {
+	n := 0
+	for _, x := range img {
+		if x > v {
+			n++
+		}
+	}
+	return n
+}

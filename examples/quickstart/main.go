@@ -1,0 +1,83 @@
+// Quickstart: offload a computation through multiple streams and watch
+// the transfers hide behind the kernels.
+//
+// The program doubles a vector on the simulated coprocessor twice —
+// once with a single stream (the three offload stages strictly in
+// sequence) and once with four streams pipelining eight tiles — then
+// prints both virtual timelines. This is Fig. 1 of the paper, run
+// instead of drawn.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"micstream"
+)
+
+const (
+	elements = 1 << 20 // 1M float64 = 8 MB each way
+	flops    = 40 * elements
+)
+
+func run(partitions, tiles int) {
+	p, err := micstream.NewPlatform(
+		micstream.WithPartitions(partitions),
+		micstream.WithFunctionalKernels(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	host := make([]float64, elements)
+	for i := range host {
+		host[i] = float64(i)
+	}
+	buf := micstream.Alloc1D(p, "v", host)
+
+	tasks := make([]*micstream.Task, 0, tiles)
+	for t := 0; t < tiles; t++ {
+		off := t * elements / tiles
+		n := (t+1)*elements/tiles - off
+		tasks = append(tasks, &micstream.Task{
+			ID:   t,
+			H2D:  []micstream.TransferSpec{micstream.Xfer(buf, off, n)},
+			Cost: micstream.KernelCost{Name: "double", Flops: flops / float64(tiles), Efficiency: 0.05},
+			Body: func(k *micstream.KernelCtx) {
+				dev := micstream.DeviceSlice[float64](buf, k.DeviceIndex)
+				for i := off; i < off+n; i++ {
+					dev[i] *= 2
+				}
+			},
+			D2H:        []micstream.TransferSpec{micstream.Xfer(buf, off, n)},
+			StreamHint: -1,
+		})
+	}
+
+	res, err := micstream.RunTasks(p, tasks, flops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range host {
+		if v != float64(i)*2 {
+			log.Fatalf("wrong result at %d: %v", i, v)
+		}
+	}
+
+	fmt.Printf("\n%d stream(s), %d tile(s): %v (overlap %.0f%%)\n",
+		partitions, tiles, res.Wall, res.OverlapFraction*100)
+	if err := p.Gantt(os.Stdout, 90); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	fmt.Println("quickstart: B[i] = 2*A[i] on the simulated Xeon Phi 31SP")
+	run(1, 1) // non-streamed: H2D, EXE, D2H in strict sequence
+	run(4, 8) // streamed: four partitions pipelining eight tiles
+	fmt.Println("\nresults verified identical; the streamed run finishes sooner because")
+	fmt.Println("tile k+1's transfer rides the link while tile k computes.")
+}

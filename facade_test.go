@@ -1,0 +1,124 @@
+package micstream
+
+import (
+	"testing"
+)
+
+func TestWithLinkOverridesModel(t *testing.T) {
+	run := func(opts ...Option) Duration {
+		p, err := NewPlatform(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := AllocVirtual(p, "v", 1<<20, 1)
+		if _, err := p.Stream(0).EnqueueH2D(buf, 0, buf.Len(), 0); err != nil {
+			t.Fatal(err)
+		}
+		return Duration(p.Barrier())
+	}
+	slow := run(WithLink(1e9, 0))
+	fast := run(WithLink(10e9, 0))
+	if fast*9 > slow {
+		t.Fatalf("10x bandwidth should be ≈10x faster: %v vs %v", fast, slow)
+	}
+}
+
+func TestContextExposesRuntime(t *testing.T) {
+	p, err := NewPlatform(WithPartitions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Context() == nil || p.Context().NumStreams() != 3 {
+		t.Fatal("Context accessor broken")
+	}
+	if p.NumDevices() != 1 {
+		t.Fatal("device count wrong")
+	}
+}
+
+func TestHostSliceFacade(t *testing.T) {
+	p, err := NewPlatform(WithFunctionalKernels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := []int32{5, 6}
+	buf := Alloc1D(p, "v", host)
+	got := HostSlice[int32](buf)
+	if &got[0] != &host[0] {
+		t.Fatal("HostSlice does not alias")
+	}
+}
+
+// A full producer→staged-consumer flow through the facade: EnqueuePhase
+// with XferAfter across two devices.
+func TestFacadeCrossDeviceStaging(t *testing.T) {
+	p, err := NewPlatform(WithDevices(2), WithFunctionalKernels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := make([]float64, 128)
+	buf := Alloc1D(p, "tile", host)
+	producer := &Task{
+		ID:   0,
+		H2D:  []TransferSpec{Xfer(buf, 0, len(host))},
+		Cost: KernelCost{Name: "produce", Flops: 1e6},
+		Body: func(k *KernelCtx) {
+			dev := DeviceSlice[float64](buf, k.DeviceIndex)
+			for i := range dev {
+				dev[i] = float64(i)
+			}
+		},
+		D2H:        []TransferSpec{Xfer(buf, 0, len(host))},
+		StreamHint: 0, // device 0
+	}
+	var consumed float64
+	consumer := &Task{
+		ID:   1,
+		H2D:  []TransferSpec{XferAfter(buf, 0, len(host), 0)},
+		Cost: KernelCost{Name: "consume", Flops: 1e6},
+		Body: func(k *KernelCtx) {
+			dev := DeviceSlice[float64](buf, k.DeviceIndex)
+			for _, v := range dev {
+				consumed += v
+			}
+		},
+		StreamHint: 1, // device 1
+	}
+	ev, err := EnqueuePhase(p, []*Task{producer, consumer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Barrier()
+	if !ev.Done[1].Done() {
+		t.Fatal("consumer never finished")
+	}
+	want := float64(127*128) / 2
+	if consumed != want {
+		t.Fatalf("consumer saw %v, want %v — staging moved wrong data", consumed, want)
+	}
+}
+
+func TestFacadeCoordinateDescent(t *testing.T) {
+	space := SearchSpace{
+		Partitions: []int{2, 4, 8},
+		TilesFor:   func(int) []int { return []int{4, 8, 16} },
+	}
+	res, err := TuneCoordinateDescent(space, func(p, tiles int) (float64, error) {
+		return float64((p-4)*(p-4) + (tiles-8)*(tiles-8)), nil
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions != 4 || res.Tiles != 8 {
+		t.Fatalf("found (%d,%d), want (4,8)", res.Partitions, res.Tiles)
+	}
+}
+
+func TestCandidateTilesFacade(t *testing.T) {
+	tiles := CandidateTiles(7, 400)
+	for _, v := range tiles[:len(tiles)-1] {
+		if v%7 != 0 {
+			t.Fatalf("tile %d not a multiple of 7", v)
+		}
+	}
+}

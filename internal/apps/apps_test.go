@@ -1,0 +1,126 @@
+package apps_test
+
+// Cross-configuration equivalence: an application's functional result
+// must be identical regardless of how many partitions and tasks the
+// runtime uses — scheduling must never change program meaning. These
+// tests sweep randomized (P, T) configurations for each application
+// and compare against the single-stream result.
+
+import (
+	"testing"
+
+	"micstream/internal/apps/hbench"
+	"micstream/internal/apps/hotspot"
+	"micstream/internal/apps/kmeans"
+	"micstream/internal/apps/nn"
+	"micstream/internal/apps/srad"
+	"micstream/internal/workload"
+)
+
+func TestPropertyHBenchConfigInvariance(t *testing.T) {
+	rng := workload.NewRNG(101)
+	for trial := 0; trial < 10; trial++ {
+		app, err := hbench.New(hbench.Params{
+			Elements: 512 + rng.Intn(4096), Iterations: 1 + rng.Intn(4),
+			Alpha: float32(rng.Range(-2, 2)), Functional: true, Seed: uint64(trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := 1 + rng.Intn(16)
+		tiles := 1 + rng.Intn(32)
+		if _, err := app.RunStreamed(p, tiles); err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Verify(); err != nil {
+			t.Fatalf("trial %d (P=%d T=%d): %v", trial, p, tiles, err)
+		}
+	}
+}
+
+func TestPropertyNNConfigInvariance(t *testing.T) {
+	rng := workload.NewRNG(202)
+	for trial := 0; trial < 8; trial++ {
+		app, err := nn.New(nn.Params{
+			N: 500 + rng.Intn(3000), K: 1 + rng.Intn(20),
+			TargetLat: float32(rng.Range(0, 90)), TargetLon: float32(rng.Range(0, 180)),
+			Functional: true, Seed: uint64(trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.Run(1+rng.Intn(8), 1+rng.Intn(16)); err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPropertyKmeansConfigInvariance(t *testing.T) {
+	rng := workload.NewRNG(303)
+	for trial := 0; trial < 6; trial++ {
+		app, err := kmeans.New(kmeans.Params{
+			N: 200 + rng.Intn(500), Features: 2 + rng.Intn(4),
+			K: 2 + rng.Intn(3), Iterations: 1 + rng.Intn(5),
+			Functional: true, Seed: uint64(trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.Run(1+rng.Intn(8), 1+rng.Intn(8)); err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPropertyHotspotConfigInvariance(t *testing.T) {
+	rng := workload.NewRNG(404)
+	for trial := 0; trial < 6; trial++ {
+		dim := 12 + rng.Intn(20)
+		app, err := hotspot.New(hotspot.Params{
+			Dim: dim, Iterations: 1 + rng.Intn(4),
+			Functional: true, Seed: uint64(trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks := 1 + rng.Intn(dim-1)
+		if rng.Intn(2) == 0 {
+			if _, err := app.Run(1+rng.Intn(6), tasks); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := app.RunPipelined(1+rng.Intn(6), tasks); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := app.Verify(); err != nil {
+			t.Fatalf("trial %d (dim=%d tasks=%d): %v", trial, dim, tasks, err)
+		}
+	}
+}
+
+func TestPropertySRADConfigInvariance(t *testing.T) {
+	rng := workload.NewRNG(505)
+	for trial := 0; trial < 5; trial++ {
+		dim := 16 + rng.Intn(24)
+		app, err := srad.New(srad.Params{
+			Dim: dim, Iterations: 1 + rng.Intn(3), Lambda: 0.5,
+			Functional: true, Seed: uint64(trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.Run(1+rng.Intn(6), 1+rng.Intn(dim-1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Verify(); err != nil {
+			t.Fatalf("trial %d (dim=%d): %v", trial, dim, err)
+		}
+	}
+}

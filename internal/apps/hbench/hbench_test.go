@@ -1,0 +1,279 @@
+package hbench
+
+import (
+	"testing"
+
+	"micstream/internal/sim"
+	"micstream/internal/stats"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Params{Elements: 0, Iterations: 1}); err == nil {
+		t.Fatal("zero elements accepted")
+	}
+	if _, err := New(Params{Elements: 10, Iterations: 0}); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	if _, err := TransferPattern(-1, 0, 1); err == nil {
+		t.Fatal("negative block count accepted")
+	}
+	if _, err := TransferPattern(1, 1, 0); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+}
+
+func TestFunctionalCorrectness(t *testing.T) {
+	app, err := New(Params{Elements: 1 << 12, Iterations: 3, Alpha: 2.5, Functional: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.RunStreamed(4, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRequiresFunctional(t *testing.T) {
+	app, _ := New(Params{Elements: 16, Iterations: 1})
+	if err := app.Verify(); err == nil {
+		t.Fatal("Verify in timing-only mode accepted")
+	}
+}
+
+func TestFunctionalSerialRun(t *testing.T) {
+	app, err := New(Params{Elements: 1 << 10, Iterations: 2, Alpha: -1, Functional: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.RunSerial(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fig. 5 shapes: CC (16+16 blocks) constant ≈ 2× ID (16 split blocks);
+// IC grows linearly with hd; CD shrinks linearly; ID constant.
+func TestFig5TransferShapes(t *testing.T) {
+	const MB = 1 << 20
+	cc, err := TransferPattern(16, 16, MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := cc.Milliseconds(); ms < 4.7 || ms > 5.7 {
+		t.Fatalf("CC = %.2fms, want ≈5.2ms (paper §IV-A-1)", ms)
+	}
+	var ic, cd, id []float64
+	for hd := 0; hd <= 16; hd++ {
+		v, err := TransferPattern(hd, 16, MB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic = append(ic, v.Milliseconds())
+		v, err = TransferPattern(16, 16-hd, MB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd = append(cd, v.Milliseconds())
+		v, err = TransferPattern(hd, 16-hd, MB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id = append(id, v.Milliseconds())
+	}
+	if !stats.IsMonotone(ic, +1, 0) {
+		t.Fatalf("IC not increasing: %v", ic)
+	}
+	if !stats.IsMonotone(cd, -1, 0) {
+		t.Fatalf("CD not decreasing: %v", cd)
+	}
+	if !stats.IsRoughlyConstant(id, 0.01) {
+		t.Fatalf("ID not constant (serialized link): %v", id)
+	}
+	// Linearity of IC: slope ≈ one block time, r² ≈ 1.
+	xs := make([]float64, len(ic))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	_, slope, r2, err := stats.LinearFit(xs, ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.999 {
+		t.Fatalf("IC not linear: r²=%v", r2)
+	}
+	if slope < 0.13 || slope > 0.20 {
+		t.Fatalf("IC slope %.3f ms/block, want ≈0.16 (1MB at 6.5GB/s + latency)", slope)
+	}
+	// ID ≈ half of CC (16 vs 32 blocks over a serial link).
+	if ratio := cc.Milliseconds() / stats.Mean(id); ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("CC/ID = %.2f, want ≈2", ratio)
+	}
+}
+
+// Fig. 6 shapes: data time constant across iteration counts, kernel
+// time linear, crossover near 40 iterations, and the streamed
+// measurement sits between the ideal and the serial sum.
+func TestFig6OverlapShapes(t *testing.T) {
+	base := DefaultParams()
+	var data, kernel, streamed, serialSum, ideal []float64
+	for iters := 20; iters <= 60; iters += 5 {
+		p := base
+		p.Iterations = iters
+		app, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := app.DataTime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := app.KernelTime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := app.RunStreamed(4, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = append(data, d.Milliseconds())
+		kernel = append(kernel, k.Milliseconds())
+		streamed = append(streamed, s.Wall.Milliseconds())
+		serialSum = append(serialSum, d.Milliseconds()+k.Milliseconds())
+		ideal = append(ideal, maxf(d.Milliseconds(), k.Milliseconds()))
+	}
+	if !stats.IsRoughlyConstant(data, 0.01) {
+		t.Fatalf("data line not constant: %v", data)
+	}
+	if !stats.IsMonotone(kernel, +1, 0) {
+		t.Fatalf("kernel line not increasing: %v", kernel)
+	}
+	// Crossover: kernel below data at 20 iterations, above at 60.
+	if kernel[0] >= data[0] {
+		t.Fatalf("at 20 iters kernel (%v) should be below data (%v)", kernel[0], data[0])
+	}
+	last := len(kernel) - 1
+	if kernel[last] <= data[last] {
+		t.Fatalf("at 60 iters kernel (%v) should be above data (%v)", kernel[last], data[last])
+	}
+	for i := range streamed {
+		if streamed[i] >= serialSum[i] {
+			t.Fatalf("iters point %d: streamed %.2fms not below serial %.2fms", i, streamed[i], serialSum[i])
+		}
+		if streamed[i] <= ideal[i] {
+			t.Fatalf("iters point %d: streamed %.2fms at or below ideal %.2fms — full overlap should be unattainable on a half-duplex link", i, streamed[i], ideal[i])
+		}
+	}
+}
+
+// Fig. 7 shape: kernel-phase time over partitions is high at P=1,
+// reaches a minimum at intermediate P, rises again toward P=128, and
+// the non-tiled non-streamed reference beats every tiled point.
+func TestFig7PartitionShapes(t *testing.T) {
+	p := DefaultParams()
+	p.Iterations = 100
+	app, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partitions := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	var times []float64
+	for _, parts := range partitions {
+		d, err := app.KernelPhase(parts, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, d.Milliseconds())
+	}
+	_, minAt := stats.Min(times)
+	if minAt == 0 || minAt == len(times)-1 {
+		t.Fatalf("minimum at edge (P=%d): %v", partitions[minAt], times)
+	}
+	if times[0] <= times[minAt]*1.4 {
+		t.Fatalf("P=1 (%v) should be well above the minimum (%v)", times[0], times[minAt])
+	}
+	if times[len(times)-1] <= times[minAt] {
+		t.Fatalf("P=128 (%v) should be above the minimum (%v)", times[len(times)-1], times[minAt])
+	}
+	// ref: the non-streamed non-tiled kernel is faster than every
+	// tiled configuration (spatial sharing alone gives no win).
+	ref, err := app.KernelTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range times {
+		if ref.Milliseconds() >= v {
+			t.Fatalf("ref %.2fms not below tiled P=%d %.2fms", ref.Milliseconds(), partitions[i], v)
+		}
+	}
+}
+
+// The streamed run must beat the serial run for this overlappable
+// microbenchmark at the paper's crossover point.
+func TestStreamedBeatsSerialAtCrossover(t *testing.T) {
+	app, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := app.RunSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := app.RunStreamed(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Wall >= serial.Wall {
+		t.Fatalf("streamed %v not faster than serial %v", streamed.Wall, serial.Wall)
+	}
+	if streamed.OverlapFraction <= 0.2 {
+		t.Fatalf("overlap fraction %.2f suspiciously low for a pipelined run", streamed.OverlapFraction)
+	}
+}
+
+func TestRunStreamedValidatesTiles(t *testing.T) {
+	app, err := New(Params{Elements: 64, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.RunStreamed(2, 0); err == nil {
+		t.Fatal("zero tiles accepted")
+	}
+	if _, err := app.RunStreamed(2, 65); err == nil {
+		t.Fatal("more tiles than elements accepted")
+	}
+	if _, err := app.KernelPhase(2, 0); err == nil {
+		t.Fatal("zero tiles accepted by KernelPhase")
+	}
+}
+
+func TestDurationsArePositive(t *testing.T) {
+	app, err := New(Params{Elements: 1 << 16, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := app.DataTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := app.KernelTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || k <= 0 {
+		t.Fatalf("non-positive times: data=%v kernel=%v", d, k)
+	}
+	if sim.Duration(d) == 0 {
+		t.Fatal("zero data time")
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package core
+
+import "micstream/internal/sim"
+
+// PipelineIdeal computes the execution time of n identical tasks under
+// perfect software pipelining, where each task consists of the given
+// sequential stages and unlimited copies of distinct stages may run
+// concurrently (Fig. 1's idealized picture, and the "Ideal" line of
+// Fig. 6): the first task fills the pipe, every further task costs only
+// the bottleneck stage.
+func PipelineIdeal(stages []sim.Duration, n int) sim.Duration {
+	if n <= 0 || len(stages) == 0 {
+		return 0
+	}
+	var fill, bottleneck sim.Duration
+	for _, s := range stages {
+		fill += s
+		if s > bottleneck {
+			bottleneck = s
+		}
+	}
+	return fill + sim.Duration(n-1)*bottleneck
+}
+
+// PipelineSerial computes the same n tasks with no overlap at all (the
+// single-stream baseline of Fig. 1).
+func PipelineSerial(stages []sim.Duration, n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, s := range stages {
+		sum += s
+	}
+	return sum * sim.Duration(n)
+}
+
+// HalfDuplexIdeal computes the best achievable time for n tasks whose
+// transfer stages share one half-duplex link while the kernel stage
+// runs on a separate resource: the link carries (h2d + d2h) per task
+// serially, so the makespan is bounded below by both the total link
+// occupancy and the total kernel occupancy, plus the unavoidable fill
+// and drain. This is the tight bound for the measured "Streamed" line
+// of Fig. 6 — the gap between it and PipelineIdeal is the paper's
+// "full overlap seems not achievable" observation (§IV-A-2).
+func HalfDuplexIdeal(h2d, exe, d2h sim.Duration, n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	link := (h2d + d2h) * sim.Duration(n)
+	kernel := exe * sim.Duration(n)
+	// Fill: first H2D before any kernel; drain: last D2H after the
+	// last kernel.
+	if link+0 >= kernel {
+		return link + exe // link-bound: one kernel sticks out
+	}
+	return kernel + h2d + d2h // kernel-bound: first H2D and last D2H stick out
+}

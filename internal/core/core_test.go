@@ -1,0 +1,410 @@
+package core
+
+import (
+	"testing"
+
+	"micstream/internal/device"
+	"micstream/internal/hstreams"
+	"micstream/internal/sim"
+)
+
+func ctx(t *testing.T, cfg hstreams.Config) *hstreams.Context {
+	t.Helper()
+	c, err := hstreams.Init(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func simpleTask(id int, buf *hstreams.Buffer, flops float64) *Task {
+	return &Task{
+		ID:         id,
+		H2D:        []TransferSpec{Xfer(buf, 0, buf.Len())},
+		Cost:       device.KernelCost{Name: "k", Flops: flops},
+		D2H:        []TransferSpec{Xfer(buf, 0, buf.Len())},
+		StreamHint: -1,
+	}
+}
+
+func TestEnqueuePhaseRoundRobin(t *testing.T) {
+	c := ctx(t, hstreams.Config{Partitions: 4, Trace: true})
+	buf := hstreams.AllocVirtual(c, "b", 1<<20, 4)
+	var tasks []*Task
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, simpleTask(i, buf, 1e9))
+	}
+	ev, err := EnqueuePhase(c, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Barrier()
+	if len(ev.Kernel) != 8 || len(ev.Done) != 8 {
+		t.Fatalf("events: %d kernel, %d done; want 8 each", len(ev.Kernel), len(ev.Done))
+	}
+	for id, e := range ev.Done {
+		if !e.Done() {
+			t.Fatalf("task %d not completed", id)
+		}
+	}
+}
+
+func TestStreamHintPinsTask(t *testing.T) {
+	c := ctx(t, hstreams.Config{Partitions: 4, Trace: true})
+	cost := device.KernelCost{Name: "k", Flops: 2e9}
+	// Pin two heavy kernels to the same stream: they must serialize.
+	tasks := []*Task{
+		{ID: 0, Cost: cost, StreamHint: 2},
+		{ID: 1, Cost: cost, StreamHint: 2},
+		{ID: 2, Cost: cost, StreamHint: 3},
+	}
+	ev, err := EnqueuePhase(c, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Barrier()
+	if ev.Done[1].CompletedAt() <= ev.Done[0].CompletedAt() {
+		t.Fatal("pinned tasks did not serialize")
+	}
+	if ev.Done[2].CompletedAt() != ev.Done[0].CompletedAt() {
+		t.Fatal("task on different partition should finish with task 0")
+	}
+}
+
+func TestDependencyGatesKernel(t *testing.T) {
+	c := ctx(t, hstreams.Config{Partitions: 2, Trace: true})
+	cost := device.KernelCost{Name: "k", Flops: 2e9}
+	tasks := []*Task{
+		{ID: 0, Cost: cost, StreamHint: 0},
+		{ID: 1, Cost: cost, StreamHint: 1, DependsOn: []int{0}},
+	}
+	ev, err := EnqueuePhase(c, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Barrier()
+	if ev.Kernel[1].CompletedAt() <= ev.Kernel[0].CompletedAt() {
+		t.Fatal("dependent kernel ran concurrently with its dependency")
+	}
+}
+
+// A gated H2D (XferAfter) must wait for the producer task's final
+// event — the cross-device staging pattern used by multi-MIC CF.
+func TestGatedTransferWaitsForProducer(t *testing.T) {
+	c := ctx(t, hstreams.Config{Devices: 2, Trace: true})
+	buf := hstreams.AllocVirtual(c, "tile", 1<<20, 8)
+	producer := &Task{
+		ID:         0,
+		Cost:       device.KernelCost{Name: "produce", Flops: 5e9},
+		D2H:        []TransferSpec{Xfer(buf, 0, buf.Len())},
+		StreamHint: 0, // device 0
+	}
+	consumer := &Task{
+		ID:         1,
+		H2D:        []TransferSpec{XferAfter(buf, 0, buf.Len(), 0)},
+		Cost:       device.KernelCost{Name: "consume", Flops: 1e6},
+		StreamHint: 1, // device 1
+	}
+	ev, err := EnqueuePhase(c, []*Task{producer, consumer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Barrier()
+	// Consumer kernel must start after producer's D2H plus its own
+	// H2D: strictly after producer completion plus one transfer.
+	gap := ev.Kernel[1].CompletedAt().Sub(ev.Done[0].CompletedAt())
+	if gap < c.Config().Link.TransferTime(buf.Bytes()) {
+		t.Fatalf("consumer not gated on producer: gap %v", gap)
+	}
+
+	// Gating on a not-yet-enqueued task is an error.
+	if _, err := EnqueuePhase(c, []*Task{
+		{ID: 7, H2D: []TransferSpec{XferAfter(buf, 0, 1, 99)}, Cost: device.KernelCost{Flops: 1}, StreamHint: -1},
+	}); err == nil {
+		t.Fatal("gate on unknown task accepted")
+	}
+}
+
+func TestEnqueuePhaseErrors(t *testing.T) {
+	c := ctx(t, hstreams.Config{Partitions: 2})
+	cost := device.KernelCost{Flops: 1}
+	if _, err := EnqueuePhase(c, []*Task{
+		{ID: 0, Cost: cost, StreamHint: -1},
+		{ID: 0, Cost: cost, StreamHint: -1},
+	}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := EnqueuePhase(c, []*Task{
+		{ID: 0, Cost: cost, StreamHint: 99},
+	}); err == nil {
+		t.Fatal("bad stream hint accepted")
+	}
+	if _, err := EnqueuePhase(c, []*Task{
+		{ID: 0, Cost: cost, DependsOn: []int{5}, StreamHint: -1},
+	}); err == nil {
+		t.Fatal("forward/unknown dependency accepted")
+	}
+	buf := hstreams.AllocVirtual(c, "b", 4, 4)
+	if _, err := EnqueuePhase(c, []*Task{
+		{ID: 0, Cost: cost, H2D: []TransferSpec{Xfer(buf, 2, 8)}, StreamHint: -1},
+	}); err == nil {
+		t.Fatal("out-of-range transfer accepted")
+	}
+}
+
+func TestRunProducesMetrics(t *testing.T) {
+	c := ctx(t, hstreams.Config{Partitions: 2, Trace: true})
+	buf := hstreams.AllocVirtual(c, "b", 1<<20, 4)
+	var tasks []*Task
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, simpleTask(i, buf, 1e9))
+	}
+	res, err := Run(c, tasks, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wall <= 0 {
+		t.Fatal("zero wall time")
+	}
+	if res.GFlops <= 0 {
+		t.Fatal("zero GFLOPS")
+	}
+	if res.KernelBusy <= 0 || res.H2DBusy <= 0 || res.D2HBusy <= 0 {
+		t.Fatalf("missing busy times: %+v", res)
+	}
+	// 4 tasks on 2 streams: some transfer/compute overlap must occur.
+	if res.OverlapFraction <= 0 {
+		t.Fatal("no overlap achieved in pipelined run")
+	}
+	if res.Partitions != 2 || res.Streams != 2 {
+		t.Fatalf("granularity not recorded: %+v", res)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// More streams must not make a pipelined workload slower, and must beat
+// the single stream for overlappable work (paper Fig. 1, §V-A).
+func TestStreamedBeatsNonStreamed(t *testing.T) {
+	run := func(parts, tiles int) sim.Duration {
+		c := ctx(t, hstreams.Config{Partitions: parts, Trace: true})
+		buf := hstreams.AllocVirtual(c, "b", 4<<20, 4)
+		per := buf.Len() / tiles
+		var tasks []*Task
+		for i := 0; i < tiles; i++ {
+			tasks = append(tasks, &Task{
+				ID:         i,
+				H2D:        []TransferSpec{Xfer(buf, i*per, per)},
+				Cost:       device.KernelCost{Name: "k", Flops: 40e9 / float64(tiles)},
+				D2H:        []TransferSpec{Xfer(buf, i*per, per)},
+				StreamHint: -1,
+			})
+		}
+		res, err := Run(c, tasks, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Wall
+	}
+	single := run(1, 1)
+	streamed := run(4, 8)
+	if streamed >= single {
+		t.Fatalf("streamed %v not faster than non-streamed %v", streamed, single)
+	}
+}
+
+func TestCandidatePartitionsAreDivisors(t *testing.T) {
+	got := CandidatePartitions(device.Xeon31SP())
+	want := []int{1, 2, 4, 7, 8, 14, 28, 56}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCandidateTilesAreMultiplesOfP(t *testing.T) {
+	for _, p := range []int{2, 4, 7, 14} {
+		tiles := CandidateTiles(p, 400)
+		if len(tiles) == 0 {
+			t.Fatalf("no tile candidates for P=%d", p)
+		}
+		for _, tt := range tiles[:len(tiles)-1] { // last entry is maxTiles itself
+			if tt%p != 0 {
+				t.Fatalf("P=%d: tile candidate %d not a multiple", p, tt)
+			}
+			if tt > 400 {
+				t.Fatalf("P=%d: tile candidate %d exceeds max", p, tt)
+			}
+		}
+	}
+	if CandidateTiles(0, 10) != nil || CandidateTiles(4, 0) != nil {
+		t.Fatal("degenerate inputs should give nil")
+	}
+}
+
+func TestHeuristicSpaceMuchSmallerThanExhaustive(t *testing.T) {
+	ex := ExhaustiveSpace(56, 400)
+	he := HeuristicSpace(56, 400)
+	if ex.Size() != 56*400 {
+		t.Fatalf("exhaustive size = %d", ex.Size())
+	}
+	if he.Size() >= ex.Size()/50 {
+		t.Fatalf("heuristic space %d not ≪ exhaustive %d", he.Size(), ex.Size())
+	}
+	// Pruned P values exclude 1 (the degenerate non-streamed case).
+	for _, p := range he.Partitions {
+		if p < 2 || 56%p != 0 {
+			t.Fatalf("bad pruned partition %d", p)
+		}
+	}
+}
+
+func TestTuneFindsMinimum(t *testing.T) {
+	// Synthetic landscape with a unique optimum at P=8, T=32.
+	eval := func(p, tiles int) (float64, error) {
+		dp := float64(p - 8)
+		dt := float64(tiles - 32)
+		return 1 + dp*dp + dt*dt/100, nil
+	}
+	space := SearchSpace{
+		Partitions: []int{2, 4, 8, 16},
+		TilesFor:   func(p int) []int { return []int{8, 16, 32, 64} },
+	}
+	res, err := Tune(space, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions != 8 || res.Tiles != 32 {
+		t.Fatalf("tuner found (%d,%d), want (8,32)", res.Partitions, res.Tiles)
+	}
+	if res.Evaluations != space.Size() {
+		t.Fatalf("evaluations = %d, want %d", res.Evaluations, space.Size())
+	}
+}
+
+func TestCoordinateDescentFindsUnimodalOptimum(t *testing.T) {
+	// Separable bowl: coordinate descent must find the exact optimum
+	// with far fewer evaluations than the 16-point product space.
+	eval := func(p, tiles int) (float64, error) {
+		dp := float64(p - 8)
+		dt := float64(tiles - 32)
+		return 1 + dp*dp + dt*dt/100, nil
+	}
+	space := SearchSpace{
+		Partitions: []int{2, 4, 8, 16},
+		TilesFor:   func(int) []int { return []int{8, 16, 32, 64} },
+	}
+	res, err := TuneCoordinateDescent(space, eval, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions != 8 || res.Tiles != 32 {
+		t.Fatalf("found (%d,%d), want (8,32)", res.Partitions, res.Tiles)
+	}
+	full, err := Tune(space, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations >= full.Evaluations {
+		t.Fatalf("descent used %d evals, exhaustive %d — no saving", res.Evaluations, full.Evaluations)
+	}
+	if res.Seconds != full.Seconds {
+		t.Fatalf("descent optimum %v != exhaustive %v", res.Seconds, full.Seconds)
+	}
+}
+
+func TestCoordinateDescentCachesRepeats(t *testing.T) {
+	calls := 0
+	eval := func(p, tiles int) (float64, error) {
+		calls++
+		return float64(p + tiles), nil
+	}
+	space := SearchSpace{
+		Partitions: []int{1, 2},
+		TilesFor:   func(int) []int { return []int{1, 2} },
+	}
+	res, err := TuneCoordinateDescent(space, eval, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Evaluations {
+		t.Fatalf("eval called %d times but %d evaluations reported (cache broken)", calls, res.Evaluations)
+	}
+	if calls > 4 {
+		t.Fatalf("tiny space needed %d calls; caching should bound it by the space size", calls)
+	}
+}
+
+func TestCoordinateDescentEmptySpaceFails(t *testing.T) {
+	if _, err := TuneCoordinateDescent(SearchSpace{TilesFor: func(int) []int { return nil }}, nil, 1); err == nil {
+		t.Fatal("empty space accepted")
+	}
+}
+
+func TestTuneEmptySpaceFails(t *testing.T) {
+	if _, err := Tune(SearchSpace{TilesFor: func(int) []int { return nil }}, nil); err == nil {
+		t.Fatal("empty space accepted")
+	}
+}
+
+func TestTunePropagatesEvalError(t *testing.T) {
+	space := SearchSpace{Partitions: []int{1}, TilesFor: func(int) []int { return []int{1} }}
+	_, err := Tune(space, func(int, int) (float64, error) {
+		return 0, errBoom
+	})
+	if err == nil {
+		t.Fatal("eval error swallowed")
+	}
+}
+
+var errBoom = &boomError{}
+
+type boomError struct{}
+
+func (*boomError) Error() string { return "boom" }
+
+func TestPipelineIdealAndSerial(t *testing.T) {
+	stages := []sim.Duration{10, 30, 20}
+	if got := PipelineSerial(stages, 4); got != 240 {
+		t.Fatalf("serial = %v, want 240", got)
+	}
+	// fill 60 + 3 more × bottleneck 30 = 150.
+	if got := PipelineIdeal(stages, 4); got != 150 {
+		t.Fatalf("ideal = %v, want 150", got)
+	}
+	if PipelineIdeal(stages, 0) != 0 || PipelineSerial(nil, 5) != 0 {
+		t.Fatal("degenerate cases wrong")
+	}
+	if PipelineIdeal(stages, 1) != 60 {
+		t.Fatal("single task should cost the stage sum")
+	}
+}
+
+func TestHalfDuplexIdealBounds(t *testing.T) {
+	// Link-bound: transfers dominate.
+	lb := HalfDuplexIdeal(10, 5, 10, 4)
+	if lb != 4*20+5 {
+		t.Fatalf("link-bound = %v, want 85", lb)
+	}
+	// Kernel-bound: compute dominates.
+	kb := HalfDuplexIdeal(5, 40, 5, 4)
+	if kb != 4*40+10 {
+		t.Fatalf("kernel-bound = %v, want 170", kb)
+	}
+	if HalfDuplexIdeal(1, 1, 1, 0) != 0 {
+		t.Fatal("zero tasks should cost zero")
+	}
+	// The half-duplex ideal is never below the full-overlap ideal.
+	for _, n := range []int{1, 2, 5, 16} {
+		hd := HalfDuplexIdeal(10, 30, 20, n)
+		id := PipelineIdeal([]sim.Duration{10, 30, 20}, n)
+		if hd < id {
+			t.Fatalf("n=%d: half-duplex ideal %v below full ideal %v", n, hd, id)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sort"
+
+	"micstream/internal/device"
+)
+
+// CandidatePartitions returns the paper's pruned resource-granularity
+// search space (§V-C): partition counts that divide the device's usable
+// core count, so that no physical core's hardware threads are split
+// across two partitions. For the 31SP's 56 usable cores this is
+// {1, 2, 4, 7, 8, 14, 28, 56}; the paper's recommended set is the same
+// without 1 (a single partition is the non-streamed degenerate case,
+// kept here because the tuner may still want to evaluate it).
+func CandidatePartitions(cfg device.Config) []int {
+	cores := cfg.UsableCores()
+	var out []int
+	for p := 1; p <= cores; p++ {
+		if cores%p == 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CandidateTiles returns the paper's pruned task-granularity space for
+// a given partition count: multiples of P (load balance: T = m·P for
+// integer m, §V-C) up to maxTiles, thinned geometrically so the tuner
+// evaluates O(log) candidates instead of every multiple. The paper's
+// further guidance — T not too large (control overhead) and not too
+// small (no pipelining) — is left to the tuner's measurements.
+func CandidateTiles(p, maxTiles int) []int {
+	if p < 1 || maxTiles < 1 {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	add := func(t int) {
+		if t >= 1 && t <= maxTiles && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	// m = 1..8 exactly, then geometric growth: small multiples
+	// matter most (most apps peak at T = P or small multiples).
+	for m := 1; m <= 8; m++ {
+		add(m * p)
+	}
+	for m := 12; m*p <= maxTiles; m += m / 2 {
+		add(m * p)
+	}
+	add(maxTiles)
+	sort.Ints(out)
+	return out
+}
+
+// FullPartitionSpace returns every partition count in [1, max] — the
+// unpruned resource-granularity axis.
+func FullPartitionSpace(max int) []int {
+	if max < 1 {
+		return nil
+	}
+	out := make([]int, max)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// FullTileSpace returns every tile count in [1, max] — the unpruned
+// task-granularity axis.
+func FullTileSpace(max int) []int { return FullPartitionSpace(max) }

@@ -1,0 +1,238 @@
+// Package core is the paper's contribution layer: it turns a tiled
+// offload workload — tasks with H2D, kernel-execution and D2H stages —
+// into enqueues on an hstreams context, measures the outcome, and
+// implements the task/resource-granularity tuner with the
+// search-space-reduction heuristics of §V-C.
+//
+// The package separates three concerns:
+//
+//   - pipeline.go: executing a task DAG over the streams of a context
+//     (temporal + spatial sharing);
+//   - tuner.go / heuristics.go: choosing the number of partitions P and
+//     tiles T, either exhaustively or with the paper's pruned space;
+//   - analyze.go: quantifying overlap from traces and computing the
+//     ideal fully-overlapped pipeline time the paper plots in Fig. 6.
+package core
+
+import (
+	"fmt"
+
+	"micstream/internal/device"
+	"micstream/internal/hstreams"
+	"micstream/internal/sim"
+	"micstream/internal/trace"
+)
+
+// TransferSpec names a contiguous element range of a buffer to move.
+type TransferSpec struct {
+	// Buf is the buffer to transfer from/to.
+	Buf *hstreams.Buffer
+	// Off is the first element of the range.
+	Off int
+	// N is the element count.
+	N int
+	// AfterTask, when ≥ 0, gates the transfer on the completion
+	// (kernel plus outputs) of the referenced task — the staging
+	// pattern for moving a producer's tile to a consumer on another
+	// device (Fig. 11's multi-MIC runs). Only H2D transfers honour
+	// it; a task's D2H outputs are already ordered after its kernel
+	// by stream FIFO. Use Xfer for the common ungated case; the zero
+	// value of this field is task 0, not "none".
+	AfterTask int
+}
+
+// Xfer builds an ungated TransferSpec.
+func Xfer(buf *hstreams.Buffer, off, n int) TransferSpec {
+	return TransferSpec{Buf: buf, Off: off, N: n, AfterTask: -1}
+}
+
+// XferAfter builds a TransferSpec gated on another task's completion.
+func XferAfter(buf *hstreams.Buffer, off, n, afterTask int) TransferSpec {
+	return TransferSpec{Buf: buf, Off: off, N: n, AfterTask: afterTask}
+}
+
+// Task is one unit of offloaded work: input transfers, one kernel, and
+// output transfers, as in the paper's flow diagrams (Fig. 4).
+type Task struct {
+	// ID identifies the task; DependsOn references these IDs. IDs
+	// must be unique within one EnqueuePhase call.
+	ID int
+	// H2D lists input transfers; they precede the kernel in the
+	// task's stream.
+	H2D []TransferSpec
+	// Cost drives the timing model for the kernel.
+	Cost device.KernelCost
+	// Body is the kernel's functional implementation (may be nil).
+	Body func(*hstreams.KernelCtx)
+	// D2H lists output transfers; they follow the kernel.
+	D2H []TransferSpec
+	// DependsOn lists tasks whose kernels must complete before this
+	// task's kernel starts (device-resident data dependencies, as
+	// between Cholesky tiles). Referenced tasks must appear earlier
+	// in the slice passed to EnqueuePhase.
+	DependsOn []int
+	// StreamHint pins the task to a specific stream; -1 (or any
+	// negative value) selects round-robin placement.
+	StreamHint int
+	// TransferOnly marks a task that ships data but launches no
+	// kernel (e.g. a shared input panel used by many compute tasks).
+	// Its "kernel" event — what dependents gate on — is the
+	// completion of its last H2D. Cost, Body and D2H must be empty.
+	TransferOnly bool
+}
+
+// PhaseEvents indexes the completion events of an enqueued phase.
+type PhaseEvents struct {
+	// Kernel maps task ID to its kernel-completion event.
+	Kernel map[int]*hstreams.Event
+	// Done maps task ID to its final event (last D2H, or the kernel
+	// when the task has no outputs).
+	Done map[int]*hstreams.Event
+}
+
+// EnqueuePhase enqueues tasks onto the context's streams without
+// synchronizing: round-robin across all streams unless a task carries a
+// StreamHint. Within a stream the enqueue order of a task is H2D*,
+// kernel, D2H*, so a task's own stages are FIFO-ordered; cross-task
+// dependencies gate kernels via events. Tasks must be listed in
+// topological order of DependsOn.
+func EnqueuePhase(ctx *hstreams.Context, tasks []*Task) (*PhaseEvents, error) {
+	ev := &PhaseEvents{
+		Kernel: make(map[int]*hstreams.Event, len(tasks)),
+		Done:   make(map[int]*hstreams.Event, len(tasks)),
+	}
+	n := ctx.NumStreams()
+	rr := 0
+	for i, t := range tasks {
+		if _, dup := ev.Kernel[t.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate task id %d", t.ID)
+		}
+		var s *hstreams.Stream
+		if t.StreamHint >= 0 {
+			if t.StreamHint >= n {
+				return nil, fmt.Errorf("core: task %d stream hint %d out of range [0,%d)", t.ID, t.StreamHint, n)
+			}
+			s = ctx.Stream(t.StreamHint)
+		} else {
+			s = ctx.Stream(rr % n)
+			rr++
+		}
+		var deps []*hstreams.Event
+		for _, d := range t.DependsOn {
+			kev, ok := ev.Kernel[d]
+			if !ok {
+				return nil, fmt.Errorf("core: task %d depends on %d which is not enqueued yet (tasks %d positions in)", t.ID, d, i)
+			}
+			deps = append(deps, kev)
+		}
+		var lastH2D *hstreams.Event
+		for xi, x := range t.H2D {
+			var xdeps []*hstreams.Event
+			if t.TransferOnly && xi == 0 {
+				// With no kernel to gate, the task's declared
+				// dependencies gate its first transfer (stream
+				// FIFO orders the rest).
+				xdeps = append(xdeps, deps...)
+			}
+			if x.AfterTask >= 0 {
+				gate, ok := ev.Done[x.AfterTask]
+				if !ok {
+					return nil, fmt.Errorf("core: task %d H2D gated on %d which is not enqueued yet", t.ID, x.AfterTask)
+				}
+				xdeps = append(xdeps, gate)
+			}
+			hev, err := s.EnqueueH2D(x.Buf, x.Off, x.N, t.ID, xdeps...)
+			if err != nil {
+				return nil, fmt.Errorf("core: task %d H2D: %w", t.ID, err)
+			}
+			lastH2D = hev
+		}
+		if t.TransferOnly {
+			if t.Body != nil || len(t.D2H) > 0 {
+				return nil, fmt.Errorf("core: transfer-only task %d carries a body or outputs", t.ID)
+			}
+			if lastH2D == nil {
+				return nil, fmt.Errorf("core: transfer-only task %d has no transfers", t.ID)
+			}
+			// Honour declared dependencies even without a kernel:
+			// a pathological graph could gate a pure transfer.
+			ev.Kernel[t.ID] = lastH2D
+			ev.Done[t.ID] = lastH2D
+			continue
+		}
+		kev := s.EnqueueKernel(t.Cost, t.ID, t.Body, deps...)
+		ev.Kernel[t.ID] = kev
+		last := kev
+		for _, x := range t.D2H {
+			dev, err := s.EnqueueD2H(x.Buf, x.Off, x.N, t.ID)
+			if err != nil {
+				return nil, fmt.Errorf("core: task %d D2H: %w", t.ID, err)
+			}
+			last = dev
+		}
+		ev.Done[t.ID] = last
+	}
+	return ev, nil
+}
+
+// Run enqueues tasks, waits for completion, and summarizes the run.
+// flops is the workload's total useful floating-point work, used for
+// the GFLOPS metric. The wall-clock window starts at the context's
+// current virtual time, so Run composes with prior phases.
+func Run(ctx *hstreams.Context, tasks []*Task, flops float64) (Result, error) {
+	start := ctx.Now()
+	if _, err := EnqueuePhase(ctx, tasks); err != nil {
+		return Result{}, err
+	}
+	end := ctx.Barrier()
+	return Summarize(ctx, flops, end.Sub(start)), nil
+}
+
+// Summarize assembles a Result from the context's trace and the
+// measured wall time.
+func Summarize(ctx *hstreams.Context, flops float64, wall sim.Duration) Result {
+	r := Result{
+		Wall:       wall,
+		Flops:      flops,
+		Partitions: ctx.Config().Partitions,
+		Streams:    ctx.NumStreams(),
+	}
+	if wall > 0 && flops > 0 {
+		r.GFlops = flops / wall.Seconds() / 1e9
+	}
+	if rec := ctx.Recorder(); rec != nil {
+		r.H2DBusy = rec.BusyTime(trace.H2D)
+		r.D2HBusy = rec.BusyTime(trace.D2H)
+		r.KernelBusy = rec.BusyTime(trace.Kernel)
+		r.OverlapFraction = rec.TransferComputeOverlap()
+	}
+	return r
+}
+
+// Result summarizes one experiment run.
+type Result struct {
+	// Wall is the virtual wall-clock duration of the run.
+	Wall sim.Duration
+	// Flops is the useful floating-point work attributed to the run.
+	Flops float64
+	// GFlops is the achieved throughput (0 when Flops unknown).
+	GFlops float64
+	// Partitions and Streams record the resource granularity used.
+	Partitions int
+	Streams    int
+	// H2DBusy, D2HBusy and KernelBusy are per-stage busy times from
+	// the trace (zero when tracing was disabled).
+	H2DBusy, D2HBusy, KernelBusy sim.Duration
+	// OverlapFraction is the fraction of transfer time hidden behind
+	// kernel execution (temporal sharing achieved).
+	OverlapFraction float64
+}
+
+// String renders the result compactly for logs and CLIs.
+func (r Result) String() string {
+	if r.Flops > 0 {
+		return fmt.Sprintf("%.3fms (%.1f GFLOPS, overlap %.0f%%)",
+			r.Wall.Milliseconds(), r.GFlops, r.OverlapFraction*100)
+	}
+	return fmt.Sprintf("%.3fms (overlap %.0f%%)", r.Wall.Milliseconds(), r.OverlapFraction*100)
+}

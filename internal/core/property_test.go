@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"micstream/internal/device"
+	"micstream/internal/hstreams"
+	"micstream/internal/sim"
+	"micstream/internal/workload"
+)
+
+// randomDAG builds a topologically ordered random task graph: each
+// task may depend on up to two earlier tasks and may carry transfers.
+func randomDAG(rng *workload.RNG, buf *hstreams.Buffer, n int) []*Task {
+	tasks := make([]*Task, 0, n)
+	for i := 0; i < n; i++ {
+		t := &Task{
+			ID:         i,
+			Cost:       device.KernelCost{Name: "k", Flops: float64(1 + rng.Intn(2e7))},
+			StreamHint: -1,
+		}
+		for d := 0; d < 2 && i > 0; d++ {
+			if rng.Intn(2) == 0 {
+				t.DependsOn = append(t.DependsOn, rng.Intn(i))
+			}
+		}
+		if rng.Intn(3) == 0 {
+			t.H2D = append(t.H2D, Xfer(buf, 0, 1+rng.Intn(buf.Len()-1)))
+		}
+		if rng.Intn(3) == 0 {
+			t.D2H = append(t.D2H, Xfer(buf, 0, 1+rng.Intn(buf.Len()-1)))
+		}
+		tasks = append(tasks, t)
+	}
+	return tasks
+}
+
+// Property: every dependency is honoured — a task's kernel completes
+// strictly after each dependency's kernel.
+func TestPropertyRandomDAGRespectsDependencies(t *testing.T) {
+	rng := workload.NewRNG(2024)
+	for trial := 0; trial < 30; trial++ {
+		ctx, err := hstreams.Init(hstreams.Config{Partitions: 1 + int(rng.Intn(8)), Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := hstreams.AllocVirtual(ctx, "b", 1<<20, 4)
+		tasks := randomDAG(rng, buf, 40)
+		ev, err := EnqueuePhase(ctx, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.Barrier()
+		for _, task := range tasks {
+			for _, dep := range task.DependsOn {
+				if ev.Kernel[task.ID].CompletedAt() <= ev.Kernel[dep].CompletedAt() {
+					t.Fatalf("trial %d: task %d (done %v) did not wait for dep %d (done %v)",
+						trial, task.ID, ev.Kernel[task.ID].CompletedAt(),
+						dep, ev.Kernel[dep].CompletedAt())
+				}
+			}
+		}
+	}
+}
+
+// Property: the makespan is bounded below by the DAG's critical path
+// through kernel durations (scheduling can add waiting, never remove
+// work from the longest chain).
+func TestPropertyMakespanAtLeastCriticalPath(t *testing.T) {
+	rng := workload.NewRNG(77)
+	for trial := 0; trial < 20; trial++ {
+		parts := 1 + int(rng.Intn(8))
+		ctx, err := hstreams.Init(hstreams.Config{Partitions: parts, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := hstreams.AllocVirtual(ctx, "b", 1<<20, 4)
+		tasks := randomDAG(rng, buf, 30)
+		// Critical path over kernel durations alone (transfers and
+		// queueing only lengthen the schedule). Kernel durations
+		// depend on the partition; use the fastest partition as the
+		// lower bound.
+		durOf := func(c device.KernelCost) sim.Duration {
+			d := ctx.Device(0).Partition(0).KernelTime(c)
+			for _, p := range ctx.Device(0).Partitions() {
+				if v := p.KernelTime(c); v < d {
+					d = v
+				}
+			}
+			return d
+		}
+		longest := make([]sim.Duration, len(tasks))
+		var critical sim.Duration
+		for i, task := range tasks {
+			d := durOf(task.Cost)
+			best := sim.Duration(0)
+			for _, dep := range task.DependsOn {
+				if longest[dep] > best {
+					best = longest[dep]
+				}
+			}
+			longest[i] = best + d
+			if longest[i] > critical {
+				critical = longest[i]
+			}
+		}
+		start := ctx.Now()
+		if _, err := EnqueuePhase(ctx, tasks); err != nil {
+			t.Fatal(err)
+		}
+		makespan := ctx.Barrier().Sub(start)
+		if makespan < critical {
+			t.Fatalf("trial %d: makespan %v below critical path %v", trial, makespan, critical)
+		}
+	}
+}
+
+// Property: for a uniform tiled pipeline the simulated makespan lies
+// between the analytic bounds — at least the half-duplex ideal (the
+// link must carry every byte serially) and at most the fully serial
+// schedule. This cross-validates the analyzer in analyze.go against
+// the discrete-event engine.
+func TestPropertySimulationWithinAnalyticBounds(t *testing.T) {
+	rng := workload.NewRNG(31)
+	for trial := 0; trial < 30; trial++ {
+		tiles := 2 + rng.Intn(24)
+		parts := 1 + rng.Intn(8)
+		bytes := (1 + rng.Intn(64)) << 16
+		flops := float64(1+rng.Intn(50)) * 1e8
+
+		ctx, err := hstreams.Init(hstreams.Config{Partitions: parts, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := hstreams.AllocVirtual(ctx, "b", bytes*tiles, 1)
+		cost := device.KernelCost{Name: "k", Flops: flops}
+		var tasks []*Task
+		for i := 0; i < tiles; i++ {
+			tasks = append(tasks, &Task{
+				ID:         i,
+				H2D:        []TransferSpec{Xfer(buf, i*bytes, bytes)},
+				Cost:       cost,
+				D2H:        []TransferSpec{Xfer(buf, i*bytes, bytes)},
+				StreamHint: -1,
+			})
+		}
+		res, err := Run(ctx, tasks, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		xfer := ctx.Config().Link.TransferTime(int64(bytes))
+		// The slowest partition bounds the per-tile kernel time.
+		var kern sim.Duration
+		for _, p := range ctx.Device(0).Partitions() {
+			if v := p.KernelTime(cost); v > kern {
+				kern = v
+			}
+		}
+		fastKern := kern
+		for _, p := range ctx.Device(0).Partitions() {
+			if v := p.KernelTime(cost); v < fastKern {
+				fastKern = v
+			}
+		}
+		lower := HalfDuplexIdeal(xfer, fastKern, xfer, tiles)
+		// With P partitions, kernels run at most P at a time:
+		// the serial bound uses one stream's worth of every stage.
+		upper := PipelineSerial([]sim.Duration{xfer, kern, xfer}, tiles)
+		if parts > 1 {
+			// Lower bound must also ignore kernel parallelism
+			// beyond the link constraint; HalfDuplexIdeal's
+			// kernel-bound branch assumes one kernel at a time,
+			// so relax it to the link-only bound for multi-
+			// partition runs.
+			lower = 2 * xfer * sim.Duration(tiles)
+		}
+		if res.Wall < lower {
+			t.Fatalf("trial %d (T=%d P=%d): wall %v below lower bound %v", trial, tiles, parts, res.Wall, lower)
+		}
+		if res.Wall > upper {
+			t.Fatalf("trial %d (T=%d P=%d): wall %v above serial bound %v", trial, tiles, parts, res.Wall, upper)
+		}
+	}
+}
+
+// Property: Run's wall time equals the barrier-to-barrier window and
+// its GFLOPS metric is consistent with it.
+func TestPropertyResultConsistency(t *testing.T) {
+	rng := workload.NewRNG(5)
+	for trial := 0; trial < 20; trial++ {
+		ctx, err := hstreams.Init(hstreams.Config{Partitions: 2, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := hstreams.AllocVirtual(ctx, "b", 1<<20, 4)
+		tasks := randomDAG(rng, buf, 10)
+		flops := float64(1 + rng.Intn(1e9))
+		res, err := Run(ctx, tasks, flops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := flops / res.Wall.Seconds() / 1e9
+		if diff := res.GFlops/want - 1; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: GFLOPS %v inconsistent with wall %v", trial, res.GFlops, res.Wall)
+		}
+		if res.OverlapFraction < 0 || res.OverlapFraction > 1 {
+			t.Fatalf("trial %d: overlap fraction %v out of [0,1]", trial, res.OverlapFraction)
+		}
+	}
+}

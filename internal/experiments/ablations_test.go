@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"testing"
+
+	"micstream/internal/stats"
+)
+
+func TestAblationDuplexDistinguishesLinkDesigns(t *testing.T) {
+	tab := gen(t, "ablation-duplex")
+	half, full := tab.Column(1), tab.Column(2)
+	if !stats.IsRoughlyConstant(half, 0.01) {
+		t.Fatalf("half-duplex ID not constant: %v", half)
+	}
+	if stats.IsRoughlyConstant(full, 0.05) {
+		t.Fatalf("full-duplex ID should not be constant: %v", full)
+	}
+	// Balanced split on full duplex approaches half the serial time.
+	mid := full[8]
+	if ratio := half[8] / mid; ratio < 1.8 || ratio > 2.1 {
+		t.Fatalf("balanced full-duplex should be ≈2x faster: %v vs %v", half[8], mid)
+	}
+	// Edges (one-directional traffic) are identical in both designs.
+	if d := full[0]/half[0] - 1; d > 0.01 || d < -0.01 {
+		t.Fatalf("one-directional traffic should not care about duplexity: %v vs %v", full[0], half[0])
+	}
+}
+
+func TestAblationContentionIsolatesDivisorEffect(t *testing.T) {
+	tab := gen(t, "ablation-contention")
+	// Rows alternate divisor, non-divisor: {4,5,7,9,14,15,28,29}.
+	withP, without := tab.Column(1), tab.Column(2)
+	for i := 0; i+1 < len(withP); i += 2 {
+		div, nondiv := withP[i], withP[i+1]
+		if nondiv <= div*1.05 {
+			t.Errorf("with contention, non-divisor row %d (%.2f) should be clearly slower than divisor (%.2f)", i+1, nondiv, div)
+		}
+	}
+	// Without the penalty the sawtooth flattens: each non-divisor is
+	// within a few percent of its preceding divisor (residual
+	// differences come from load imbalance only).
+	for i := 0; i+1 < len(without); i += 2 {
+		div, nondiv := without[i], without[i+1]
+		if nondiv > div*1.40 {
+			t.Errorf("without contention, non-divisor row %d (%.2f) still spikes vs divisor (%.2f)", i+1, nondiv, div)
+		}
+	}
+}
+
+func TestAblationAllocIsolatesKmeansEffect(t *testing.T) {
+	tab := gen(t, "ablation-alloc")
+	with, without := tab.Column(1), tab.Column(2)
+	// With allocation: steep monotone-envelope fall.
+	if with[0] < with[len(with)-1]*3 {
+		t.Fatalf("with-alloc sweep should fall steeply: %v", with)
+	}
+	// Without: the spread across P is small compared to the
+	// with-alloc spread.
+	maxW, _ := stats.Max(without)
+	minW, _ := stats.Min(without)
+	if (maxW-minW)/minW > 0.5*(with[0]-with[len(with)-1])/with[len(with)-1] {
+		t.Fatalf("no-alloc sweep should be much flatter: with=%v without=%v", with, without)
+	}
+}
+
+func TestExtHotspotPipelinedGains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale extension run")
+	}
+	tab := gen(t, "ext-hotspot-pipe")
+	barrier, pipe := tab.Column(1), tab.Column(2)
+	for i := range barrier {
+		if pipe[i] >= barrier[i] {
+			t.Errorf("row %d: pipelined %.2fs not below barrier %.2fs", i, pipe[i], barrier[i])
+		}
+	}
+}
+
+// The taxonomy experiment must separate the classes cleanly: every
+// overlappable application shows far more measured overlap than every
+// non-overlappable one, and the §VII transformation moves Hotspot from
+// the second group toward the first.
+func TestExtTaxonomySeparatesClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale extension run")
+	}
+	tab := gen(t, "ext-taxonomy")
+	overlap := map[string]float64{}
+	for i, row := range tab.Rows {
+		overlap[row[0]] = tab.Column(2)[i]
+	}
+	for _, a := range []string{"mm", "cf", "nn"} {
+		for _, b := range []string{"kmeans", "hotspot", "srad"} {
+			if overlap[a] <= overlap[b]+20 {
+				t.Errorf("overlappable %s (%.0f%%) not clearly above non-overlappable %s (%.0f%%)",
+					a, overlap[a], b, overlap[b])
+			}
+		}
+	}
+	if overlap["hotspot-pipelined"] <= overlap["hotspot"]+20 {
+		t.Errorf("transformation did not move hotspot's overlap: %.0f%% vs %.0f%%",
+			overlap["hotspot-pipelined"], overlap["hotspot"])
+	}
+}
+
+func TestExtMultiMICEfficiencyDecays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale extension run")
+	}
+	tab := gen(t, "ext-multimic")
+	gf := tab.Column(1)
+	if len(gf) != 4 {
+		t.Fatalf("want 4 device counts, got %v", gf)
+	}
+	if !stats.IsMonotone(gf, +1, 0.02) {
+		t.Fatalf("throughput should grow with devices: %v", gf)
+	}
+	// Efficiency strictly below 100% beyond one device, and no
+	// super-linear artifacts.
+	proj := tab.Column(2)
+	for i := 1; i < 4; i++ {
+		if gf[i] >= proj[i] {
+			t.Errorf("%d devices: %.1f GF at or above projected %.1f", i+1, gf[i], proj[i])
+		}
+	}
+}

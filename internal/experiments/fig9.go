@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"micstream/internal/apps/cf"
+	"micstream/internal/apps/hotspot"
+	"micstream/internal/apps/kmeans"
+	"micstream/internal/apps/mm"
+	"micstream/internal/apps/nn"
+	"micstream/internal/apps/srad"
+	"micstream/internal/core"
+)
+
+func init() {
+	register("fig9a", Fig9aMM)
+	register("fig9b", Fig9bCF)
+	register("fig9c", Fig9cKmeans)
+	register("fig9d", Fig9dHotspot)
+	register("fig9e", Fig9eNN)
+	register("fig9f", Fig9fSRAD)
+}
+
+// partitionSweep drives one application across P = 1..56 with its
+// Fig. 9 task granularity fixed, formatting one row per P.
+func partitionSweep(id, title, metric string, run func(p int) (core.Result, error), format func(core.Result) string, notes ...string) (*Table, error) {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"partitions", metric},
+		Notes:   notes,
+	}
+	for p := 1; p <= 56; p++ {
+		r, err := run(p)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", p), format(r)})
+	}
+	return t, nil
+}
+
+func asGF(r core.Result) string { return fmtGF(r.GFlops) }
+func asS(r core.Result) string  { return fmtS(r.Wall.Seconds()) }
+func asMS(r core.Result) string { return fmtMS(r.Wall.Milliseconds()) }
+
+// Fig9aMM regenerates Fig. 9(a): MM GFLOPS vs partitions
+// (D=6000, T=500×500 tiles).
+func Fig9aMM() (*Table, error) {
+	app, err := mm.New(mm.Params{N: 6000})
+	if err != nil {
+		return nil, err
+	}
+	return partitionSweep("fig9a", "MM GFLOPS vs partitions (D=6000, 500x500 tiles)", "GFLOPS",
+		func(p int) (core.Result, error) { return app.Run(p, 12) }, asGF,
+		"peaks at P ∈ {2,4,7,8,14,28,56}: divisors of 56 avoid splitting a core's threads across streams")
+}
+
+// Fig9bCF regenerates Fig. 9(b): CF GFLOPS vs partitions
+// (D=9600, tile 800×800).
+func Fig9bCF() (*Table, error) {
+	app, err := cf.New(cf.Params{N: 9600})
+	if err != nil {
+		return nil, err
+	}
+	return partitionSweep("fig9b", "CF GFLOPS vs partitions (D=9600, 800x800 tiles)", "GFLOPS",
+		func(p int) (core.Result, error) { return app.Run(1, p, 12) }, asGF,
+		"same divisor-of-56 spikes as MM")
+}
+
+// Fig9cKmeans regenerates Fig. 9(c): Kmeans time vs partitions
+// (D=1120000, T=20000 points/task ⇒ 56 tasks, 100 iterations).
+func Fig9cKmeans() (*Table, error) {
+	app, err := kmeans.New(kmeans.Params{N: 1_120_000, Features: 34, K: 8, Iterations: 100})
+	if err != nil {
+		return nil, err
+	}
+	return partitionSweep("fig9c", "Kmeans time vs partitions (D=1120000, T=56 tasks, 100 iters)", "time[s]",
+		func(p int) (core.Result, error) { return app.Run(p, 56) }, asS,
+		"monotone improvement: per-launch allocation cost shrinks with partition width")
+}
+
+// Fig9dHotspot regenerates Fig. 9(d): Hotspot time vs partitions
+// (16384² grid, 1024² tiles ⇒ 256 tasks). The iteration count is
+// reduced from the paper's 50 to 5 and scaled in the output — the
+// per-iteration cost is independent of P, so the shape is identical.
+func Fig9dHotspot() (*Table, error) {
+	const iters, paperIters = 5, 50
+	app, err := hotspot.New(hotspot.Params{Dim: 16384, Iterations: iters})
+	if err != nil {
+		return nil, err
+	}
+	scale := float64(paperIters) / float64(iters)
+	return partitionSweep("fig9d", "Hotspot time vs partitions (16384^2, 256 tasks, 50 iters)", "time[s]",
+		func(p int) (core.Result, error) { return app.Run(p, 256) },
+		func(r core.Result) string { return fmtS(r.Wall.Seconds() * scale) },
+		fmt.Sprintf("run with %d iterations, scaled ×%.0f to the paper's %d", iters, scale, paperIters),
+		"lowest region at P≈33-37: ≤2 cores per partition (cache locality) with balanced task waves")
+}
+
+// Fig9eNN regenerates Fig. 9(e): NN time vs partitions
+// (D=5242880 records, T=512).
+func Fig9eNN() (*Table, error) {
+	app, err := nn.New(nn.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	return partitionSweep("fig9e", "NN time vs partitions (D=5242880, T=512)", "time[ms]",
+		func(p int) (core.Result, error) { return app.Run(p, 512) }, asMS,
+		"drops sharply until P=4, then flat ≈25ms: the PCIe link is the bottleneck")
+}
+
+// Fig9fSRAD regenerates Fig. 9(f): SRAD time vs partitions
+// (10000² image, 20×20 task grid ⇒ 400 tasks, λ=0.5). Iterations
+// reduced from 100 to 5 and scaled, as for Fig. 9(d).
+func Fig9fSRAD() (*Table, error) {
+	const iters, paperIters = 5, 100
+	app, err := srad.New(srad.Params{Dim: 10000, Iterations: iters, Lambda: 0.5})
+	if err != nil {
+		return nil, err
+	}
+	scale := float64(paperIters) / float64(iters)
+	return partitionSweep("fig9f", "SRAD time vs partitions (10000^2, 400 tasks, 100 iters)", "time[s]",
+		func(p int) (core.Result, error) { return app.Run(p, 400) },
+		func(r core.Result) string { return fmtS(r.Wall.Seconds() * scale) },
+		fmt.Sprintf("run with %d iterations, scaled ×%.0f to the paper's %d", iters, scale, paperIters),
+		"spatial sharing only: time falls to an interior optimum, then management overhead wins")
+}

@@ -1,0 +1,368 @@
+// Package hstreams reimplements the programming model of Intel's
+// hStreams library (the paper's multi-stream runtime, v3.5.2) on top of
+// the simulated platform: logical streams are bound to partitions
+// ("places") of a partitioned coprocessor, every stream executes its
+// enqueued actions in FIFO order, actions in different streams run
+// concurrently subject to resource contention (the PCIe DMA engine, the
+// partition's cores), and explicit events express cross-stream
+// dependencies.
+//
+// As in hStreams, a context owns one or more devices ("domains"), each
+// split into partitions; the logical stream view is what applications
+// program against, while the physical mapping is handled here. The two
+// deliberate simplifications relative to the C library are (1) buffers
+// are typed Go slices rather than raw pointers and (2) kernels are Go
+// closures invoked at their scheduled start time (the functional model)
+// with an analytic device.KernelCost driving their simulated duration
+// (the timing model). Timing-only runs — used for paper-scale inputs
+// where functional execution in pure Go would be infeasible — skip the
+// closure and the data movement but preserve every timing interaction.
+package hstreams
+
+import (
+	"fmt"
+
+	"micstream/internal/device"
+	"micstream/internal/pcie"
+	"micstream/internal/sim"
+	"micstream/internal/trace"
+)
+
+// Config assembles a platform.
+type Config struct {
+	// Device is the coprocessor model; zero value means Xeon31SP.
+	Device device.Config
+	// Link is the PCIe model; zero value means pcie.DefaultConfig.
+	Link pcie.Config
+	// Devices is the number of coprocessors (domains); 0 means 1.
+	Devices int
+	// Partitions is the number of places each device is split into;
+	// 0 means 1.
+	Partitions int
+	// StreamsPerPartition is the number of logical streams bound to
+	// each place; 0 means 1. Streams sharing a place contend for it.
+	StreamsPerPartition int
+	// ExecuteKernels enables the functional model: kernel closures
+	// run and buffer transfers move real data. Disable for
+	// paper-scale timing-only experiments.
+	ExecuteKernels bool
+	// Trace enables span recording (required by the overlap
+	// analyses and cmd/micgantt).
+	Trace bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Device.Cores == 0 {
+		c.Device = device.Xeon31SP()
+	}
+	if c.Link.BandwidthBps == 0 {
+		c.Link = pcie.DefaultConfig()
+	}
+	if c.Devices == 0 {
+		c.Devices = 1
+	}
+	if c.Partitions == 0 {
+		c.Partitions = 1
+	}
+	if c.StreamsPerPartition == 0 {
+		c.StreamsPerPartition = 1
+	}
+	return c
+}
+
+// Context is an initialized platform: the hStreams "app context".
+type Context struct {
+	cfg     Config
+	eng     *sim.Engine
+	rec     *trace.Recorder
+	devs    []*device.Device
+	links   []*pcie.Link
+	streams []*Stream
+}
+
+// Init builds the platform: Devices coprocessors, each partitioned into
+// Partitions places with StreamsPerPartition streams per place —
+// the analogue of hStreams_app_init(places, streams_per_place).
+func Init(cfg Config) (*Context, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Devices < 0 {
+		return nil, fmt.Errorf("hstreams: negative device count %d", cfg.Devices)
+	}
+	if cfg.StreamsPerPartition < 1 {
+		return nil, fmt.Errorf("hstreams: streams per partition %d < 1", cfg.StreamsPerPartition)
+	}
+	c := &Context{cfg: cfg, eng: sim.NewEngine()}
+	if cfg.Trace {
+		c.rec = trace.NewRecorder()
+	}
+	for i := 0; i < cfg.Devices; i++ {
+		name := fmt.Sprintf("mic%d", i)
+		dev, err := device.New(c.eng, cfg.Device, name, c.rec)
+		if err != nil {
+			return nil, err
+		}
+		if err := dev.SetPartitions(cfg.Partitions); err != nil {
+			return nil, err
+		}
+		link, err := pcie.NewLink(c.eng, cfg.Link, name, c.rec)
+		if err != nil {
+			return nil, err
+		}
+		c.devs = append(c.devs, dev)
+		c.links = append(c.links, link)
+		for p := 0; p < cfg.Partitions; p++ {
+			for s := 0; s < cfg.StreamsPerPartition; s++ {
+				st := &Stream{
+					ctx:    c,
+					id:     len(c.streams),
+					devIdx: i,
+					part:   dev.Partition(p),
+					link:   link,
+				}
+				c.streams = append(c.streams, st)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Context) Config() Config { return c.cfg }
+
+// Engine exposes the underlying simulation engine.
+func (c *Context) Engine() *sim.Engine { return c.eng }
+
+// Recorder returns the trace recorder, or nil when tracing is off.
+func (c *Context) Recorder() *trace.Recorder { return c.rec }
+
+// Now reports the current virtual time (host clock).
+func (c *Context) Now() sim.Time { return c.eng.Now() }
+
+// NumDevices reports the number of coprocessors.
+func (c *Context) NumDevices() int { return len(c.devs) }
+
+// Device returns coprocessor i.
+func (c *Context) Device(i int) *device.Device { return c.devs[i] }
+
+// Link returns the PCIe link of coprocessor i.
+func (c *Context) Link(i int) *pcie.Link { return c.links[i] }
+
+// NumStreams reports the total logical stream count across devices.
+func (c *Context) NumStreams() int { return len(c.streams) }
+
+// Stream returns logical stream i. Streams are enumerated device-major
+// then partition-major, so stream 0 is (device 0, partition 0).
+func (c *Context) Stream(i int) *Stream { return c.streams[i] }
+
+// StreamAt returns the k-th stream bound to (device dev, partition p).
+func (c *Context) StreamAt(dev, p, k int) *Stream {
+	base := dev*c.cfg.Partitions*c.cfg.StreamsPerPartition + p*c.cfg.StreamsPerPartition
+	return c.streams[base+k]
+}
+
+// HostWork advances the host clock by d, modeling CPU-side computation
+// between synchronization points (device work already scheduled keeps
+// running during the window).
+func (c *Context) HostWork(d sim.Duration, label string) {
+	start := c.eng.Now()
+	c.eng.Advance(d)
+	c.rec.Add(trace.Span{
+		Resource: "host",
+		Stream:   -1,
+		Task:     -1,
+		Kind:     trace.Host,
+		Label:    label,
+		Start:    start,
+		End:      c.eng.Now(),
+	})
+}
+
+// Wait blocks the host until ev completes, advancing virtual time.
+func (c *Context) Wait(ev *Event) {
+	if ev == nil {
+		return
+	}
+	c.eng.RunUntil(func() bool { return ev.done })
+}
+
+// Barrier synchronizes the host with every stream (the analogue of
+// hStreams_app_thread_sync) and returns the virtual time afterwards.
+func (c *Context) Barrier() sim.Time {
+	for _, s := range c.streams {
+		c.Wait(s.last)
+	}
+	return c.eng.Now()
+}
+
+// Drain runs the simulation until no scheduled events remain.
+func (c *Context) Drain() sim.Time {
+	c.eng.Run()
+	return c.eng.Now()
+}
+
+// Stream is one logical FIFO pipeline bound to a partition.
+type Stream struct {
+	ctx    *Context
+	id     int
+	devIdx int
+	part   *device.Partition
+	link   *pcie.Link
+	last   *Event
+}
+
+// ID reports the stream's context-wide index.
+func (s *Stream) ID() int { return s.id }
+
+// DeviceIndex reports which coprocessor the stream is bound to.
+func (s *Stream) DeviceIndex() int { return s.devIdx }
+
+// Partition reports the place the stream is bound to.
+func (s *Stream) Partition() *device.Partition { return s.part }
+
+// Last returns the stream's most recently enqueued event (nil if none);
+// waiting on it is a stream-level sync.
+func (s *Stream) Last() *Event { return s.last }
+
+// Sync blocks the host until everything enqueued on the stream so far
+// has completed (hStreams_app_stream_sync).
+func (s *Stream) Sync() { s.ctx.Wait(s.last) }
+
+// Event marks the completion of one enqueued action. Events resolve at
+// a definite virtual time and can gate actions in other streams.
+type Event struct {
+	done bool
+	at   sim.Time
+	subs []func()
+}
+
+// Done reports whether the event has completed.
+func (e *Event) Done() bool { return e != nil && e.done }
+
+// CompletedAt reports the completion time; valid only once Done.
+func (e *Event) CompletedAt() sim.Time { return e.at }
+
+func (e *Event) resolve(at sim.Time) {
+	e.done = true
+	e.at = at
+	subs := e.subs
+	e.subs = nil
+	for _, fn := range subs {
+		fn()
+	}
+}
+
+// onDone runs fn immediately if resolved, else at resolution.
+func (e *Event) onDone(fn func()) {
+	if e == nil || e.done {
+		fn()
+		return
+	}
+	e.subs = append(e.subs, fn)
+}
+
+// enqueue appends an action to the stream: it becomes ready when the
+// stream's previous action and all explicit deps have completed, then
+// calls exec with the ready time; exec must arrange for complete() to
+// be invoked at the action's completion instant.
+func (s *Stream) enqueue(deps []*Event, exec func(ready sim.Time, complete func())) *Event {
+	ev := &Event{}
+	all := make([]*Event, 0, len(deps)+1)
+	if s.last != nil {
+		all = append(all, s.last)
+	}
+	for _, d := range deps {
+		if d != nil {
+			all = append(all, d)
+		}
+	}
+	s.last = ev
+
+	pending := 0
+	fire := func() {
+		exec(s.ctx.eng.Now(), func() { ev.resolve(s.ctx.eng.Now()) })
+	}
+	dec := func() {
+		pending--
+		if pending == 0 {
+			fire()
+		}
+	}
+	for _, d := range all {
+		if !d.done {
+			pending++
+		}
+	}
+	if pending == 0 {
+		fire()
+		return ev
+	}
+	for _, d := range all {
+		if !d.done {
+			d.onDone(dec)
+		}
+	}
+	return ev
+}
+
+// EnqueueH2D asynchronously moves elements [off, off+n) of b from host
+// to the stream's device (hStreams_app_xfer_memory HSTR_SRC_TO_SINK).
+// task annotates the trace; deps gate the transfer on other events.
+func (s *Stream) EnqueueH2D(b *Buffer, off, n int, task int, deps ...*Event) (*Event, error) {
+	return s.enqueueXfer(pcie.H2D, b, off, n, task, deps)
+}
+
+// EnqueueD2H asynchronously moves elements [off, off+n) of b from the
+// stream's device to the host (HSTR_SINK_TO_SRC).
+func (s *Stream) EnqueueD2H(b *Buffer, off, n int, task int, deps ...*Event) (*Event, error) {
+	return s.enqueueXfer(pcie.D2H, b, off, n, task, deps)
+}
+
+func (s *Stream) enqueueXfer(dir pcie.Direction, b *Buffer, off, n, task int, deps []*Event) (*Event, error) {
+	if b == nil {
+		return nil, fmt.Errorf("hstreams: transfer on nil buffer")
+	}
+	if off < 0 || n < 0 || off+n > b.elems {
+		return nil, fmt.Errorf("hstreams: transfer range [%d,%d) out of buffer %q (%d elements)", off, off+n, b.name, b.elems)
+	}
+	bytes := int64(n) * int64(b.elemSize)
+	devIdx := s.devIdx
+	exec := func(ready sim.Time, complete func()) {
+		s.link.Transfer(dir, bytes, ready, s.id, task, func(start, end sim.Time) {
+			if s.ctx.cfg.ExecuteKernels {
+				b.move(devIdx, off, n, dir == pcie.H2D)
+			}
+			complete()
+		})
+	}
+	return s.enqueue(deps, exec), nil
+}
+
+// KernelCtx is passed to kernel closures in the functional model.
+type KernelCtx struct {
+	// Ctx is the owning context.
+	Ctx *Context
+	// DeviceIndex identifies the device the kernel runs on, for
+	// DeviceSlice lookups.
+	DeviceIndex int
+	// Stream is the stream executing the kernel.
+	Stream *Stream
+	// Task is the application task id.
+	Task int
+}
+
+// EnqueueKernel asynchronously launches a kernel on the stream's
+// partition (hStreams_app_invoke). cost drives the timing model; body
+// (optional) is the functional implementation, invoked at the kernel's
+// scheduled start when the context executes kernels.
+func (s *Stream) EnqueueKernel(cost device.KernelCost, task int, body func(*KernelCtx), deps ...*Event) *Event {
+	exec := func(ready sim.Time, complete func()) {
+		var fn func()
+		if body != nil && s.ctx.cfg.ExecuteKernels {
+			fn = func() {
+				body(&KernelCtx{Ctx: s.ctx, DeviceIndex: s.devIdx, Stream: s, Task: task})
+			}
+		}
+		s.part.Launch(ready, cost, s.id, task, fn, func(start, end sim.Time) { complete() })
+	}
+	return s.enqueue(deps, exec)
+}

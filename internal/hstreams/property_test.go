@@ -1,0 +1,174 @@
+package hstreams
+
+import (
+	"testing"
+
+	"micstream/internal/device"
+	"micstream/internal/sim"
+	"micstream/internal/trace"
+	"micstream/internal/workload"
+)
+
+// randomPipeline enqueues a randomized mix of transfers and kernels
+// across the context's streams and returns the per-action completion
+// events grouped by stream.
+func randomPipeline(t *testing.T, ctx *Context, rng *workload.RNG, actions int) [][]*Event {
+	t.Helper()
+	buf := AllocVirtual(ctx, "b", 1<<22, 4)
+	perStream := make([][]*Event, ctx.NumStreams())
+	for i := 0; i < actions; i++ {
+		s := ctx.Stream(rng.Intn(ctx.NumStreams()))
+		var ev *Event
+		switch rng.Intn(3) {
+		case 0:
+			e, err := s.EnqueueH2D(buf, 0, 1+rng.Intn(buf.Len()-1), i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev = e
+		case 1:
+			e, err := s.EnqueueD2H(buf, 0, 1+rng.Intn(buf.Len()-1), i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev = e
+		default:
+			cost := device.KernelCost{
+				Name:  "k",
+				Flops: float64(1 + rng.Intn(1e7)),
+				Bytes: float64(rng.Intn(1 << 20)),
+			}
+			ev = s.EnqueueKernel(cost, i, nil)
+		}
+		perStream[s.ID()] = append(perStream[s.ID()], ev)
+	}
+	ctx.Barrier()
+	return perStream
+}
+
+// Property: per-stream FIFO — every action completes no earlier than
+// the action enqueued before it on the same stream.
+func TestPropertyPerStreamFIFO(t *testing.T) {
+	rng := workload.NewRNG(99)
+	for trial := 0; trial < 25; trial++ {
+		ctx, err := Init(Config{Partitions: 1 + int(rng.Intn(8)), StreamsPerPartition: 1 + int(rng.Intn(2)), Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perStream := randomPipeline(t, ctx, rng, 60)
+		for sid, evs := range perStream {
+			for i := 1; i < len(evs); i++ {
+				if !evs[i].Done() || !evs[i-1].Done() {
+					t.Fatalf("trial %d stream %d: unresolved events after barrier", trial, sid)
+				}
+				if evs[i].CompletedAt() < evs[i-1].CompletedAt() {
+					t.Fatalf("trial %d stream %d: FIFO violated (%v before %v)",
+						trial, sid, evs[i].CompletedAt(), evs[i-1].CompletedAt())
+				}
+			}
+		}
+	}
+}
+
+// Property: resource capacity — the makespan is never less than the
+// busiest single resource's total occupancy (nothing runs on a
+// resource "for free").
+func TestPropertyMakespanBoundsResourceBusy(t *testing.T) {
+	rng := workload.NewRNG(7)
+	for trial := 0; trial < 25; trial++ {
+		parts := 1 + int(rng.Intn(6))
+		ctx, err := Init(Config{Partitions: parts, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		randomPipeline(t, ctx, rng, 80)
+		makespan := ctx.Now()
+		// Link occupancy (half-duplex: one server).
+		rec := ctx.Recorder()
+		linkBusy := rec.TotalTime(trace.H2D) + rec.TotalTime(trace.D2H)
+		if sim.Duration(makespan) < linkBusy {
+			t.Fatalf("trial %d: makespan %v < link busy %v", trial, makespan, linkBusy)
+		}
+		for _, p := range ctx.Device(0).Partitions() {
+			if sim.Duration(makespan) < p.BusyTime() {
+				t.Fatalf("trial %d: makespan %v < partition busy %v", trial, makespan, p.BusyTime())
+			}
+		}
+	}
+}
+
+// Property: determinism — identical programs produce identical
+// schedules, span for span.
+func TestPropertyDeterministicReplay(t *testing.T) {
+	build := func() *Context {
+		ctx, err := Init(Config{Partitions: 4, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := workload.NewRNG(1234)
+		randomPipeline(t, ctx, rng, 100)
+		return ctx
+	}
+	a, b := build(), build()
+	sa, sb := a.Recorder().Spans(), b.Recorder().Spans()
+	if len(sa) != len(sb) {
+		t.Fatalf("span counts differ: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("span %d differs:\n%+v\n%+v", i, sa[i], sb[i])
+		}
+	}
+	if a.Now() != b.Now() {
+		t.Fatalf("makespans differ: %v vs %v", a.Now(), b.Now())
+	}
+}
+
+// Property: monotone loads — adding one more kernel to a stream never
+// lets the platform finish earlier.
+func TestPropertyMoreWorkNeverFinishesEarlier(t *testing.T) {
+	run := func(kernels int) sim.Time {
+		ctx, err := Init(Config{Partitions: 3, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := device.KernelCost{Name: "k", Flops: 5e8}
+		for i := 0; i < kernels; i++ {
+			ctx.Stream(i%3).EnqueueKernel(cost, i, nil)
+		}
+		return ctx.Barrier()
+	}
+	prev := run(1)
+	for k := 2; k <= 20; k++ {
+		cur := run(k)
+		if cur < prev {
+			t.Fatalf("%d kernels finished earlier (%v) than %d (%v)", k, cur, k-1, prev)
+		}
+		prev = cur
+	}
+}
+
+// Property: transfers never overlap on the half-duplex link — the
+// trace must show pairwise-disjoint H2D/D2H spans.
+func TestPropertyHalfDuplexSpansDisjoint(t *testing.T) {
+	rng := workload.NewRNG(55)
+	ctx, err := Init(Config{Partitions: 8, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomPipeline(t, ctx, rng, 120)
+	var xfers []trace.Span
+	for _, s := range ctx.Recorder().Spans() {
+		if s.Kind == trace.H2D || s.Kind == trace.D2H {
+			xfers = append(xfers, s)
+		}
+	}
+	for i := 0; i < len(xfers); i++ {
+		for j := i + 1; j < len(xfers); j++ {
+			a, b := xfers[i], xfers[j]
+			if a.Start < b.End && b.Start < a.End {
+				t.Fatalf("link spans overlap: %+v and %+v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events with equal timestamps dispatch
+// in scheduling order (seq), which makes the whole simulation
+// deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; the platform drives it from one goroutine and
+// parallelizes only *inside* kernel callbacks (which execute at a fixed
+// virtual instant and therefore cannot perturb the schedule).
+type Engine struct {
+	now    Time
+	heap   eventHeap
+	seq    uint64
+	nsteps uint64
+}
+
+// NewEngine returns an engine with the virtual clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps reports how many events have been dispatched so far; useful for
+// tests and for detecting runaway simulations.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// Pending reports the number of scheduled-but-undelivered events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at the given virtual time. Scheduling in the
+// past is a programming error in the platform layers and panics, since
+// a causality violation would silently corrupt every measurement.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Step dispatches the single earliest pending event, advancing the
+// clock to its timestamp. It reports whether an event was dispatched.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	e.nsteps++
+	ev.fn()
+	return true
+}
+
+// Run dispatches events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events until done reports true or no events
+// remain; it returns the final value of done. This is what lets the
+// hstreams layer implement blocking synchronization (stream sync,
+// device sync) lazily: the program enqueues work imperatively and the
+// simulation advances only as far as each sync point requires.
+func (e *Engine) RunUntil(done func() bool) bool {
+	for !done() {
+		if !e.Step() {
+			return done()
+		}
+	}
+	return true
+}
+
+// Advance moves the clock forward by d, dispatching any events that
+// fall within the window. It models host-side work performed between
+// device synchronization points (e.g. Kmeans' centroid recomputation on
+// the CPU): device-side events scheduled inside the window still fire
+// at their proper times, because host work does not block the DMA
+// engine or the coprocessor.
+func (e *Engine) Advance(d Duration) {
+	if d < 0 {
+		panic("sim: negative Advance")
+	}
+	deadline := e.now.Add(d)
+	for len(e.heap) > 0 && e.heap[0].at <= deadline {
+		e.Step()
+	}
+	e.now = deadline
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("new engine pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsDispatchInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events dispatched out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("dispatched %d events, want 5", len(got))
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock after run = %v, want 50", e.Now())
+	}
+}
+
+func TestEqualTimestampsDispatchInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken dispatch order = %v, want 0..9 in order", got)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling before now did not panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestAfterNegativeDurationClampsToNow(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		e.After(-5, func() {})
+	})
+	e.Run() // must not panic
+	if e.Now() != 10 {
+		t.Fatalf("clock = %v, want 10", e.Now())
+	}
+}
+
+func TestEventsCanScheduleMoreEvents(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.After(7, recurse)
+		}
+	}
+	e.At(0, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if want := Time(99 * 7); e.Now() != want {
+		t.Fatalf("clock = %v, want %v", e.Now(), want)
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i*10), func() { fired++ })
+	}
+	ok := e.RunUntil(func() bool { return fired >= 3 })
+	if !ok {
+		t.Fatal("RunUntil reported failure with satisfiable predicate")
+	}
+	if fired != 3 {
+		t.Fatalf("fired = %d, want exactly 3", fired)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+	// The rest of the schedule must still be intact.
+	e.Run()
+	if fired != 10 {
+		t.Fatalf("after full run fired = %d, want 10", fired)
+	}
+}
+
+func TestRunUntilUnsatisfiablePredicateDrainsAndReportsFalse(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	if e.RunUntil(func() bool { return false }) {
+		t.Fatal("RunUntil reported true for unsatisfiable predicate")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0 after drain", e.Pending())
+	}
+}
+
+func TestAdvanceDispatchesWindowedEventsAndMovesClock(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{5, 15, 25} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.Advance(20)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 15 {
+		t.Fatalf("fired = %v, want [5 15]", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %v, want 20", e.Now())
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Fatalf("event at 25 lost after Advance")
+	}
+}
+
+func TestAdvanceZeroIsNoop(t *testing.T) {
+	e := NewEngine()
+	e.Advance(0)
+	if e.Now() != 0 {
+		t.Fatalf("clock = %v, want 0", e.Now())
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	e.Advance(-1)
+}
+
+// Property: for any batch of events with arbitrary timestamps, dispatch
+// order is a stable sort by timestamp.
+func TestPropertyDispatchIsStableSortByTime(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, r := range raw {
+			i, at := i, Time(r)
+			e.At(at, func() { got = append(got, rec{at, i}) })
+		}
+		e.Run()
+		if len(got) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false // unstable tie-break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock never goes backwards across any interleaving of
+// Step and Advance operations.
+func TestPropertyClockMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		for i := 0; i < 100; i++ {
+			e.At(Time(rng.Intn(10000)), func() {})
+		}
+		last := e.Now()
+		for i := 0; i < 200; i++ {
+			if rng.Intn(2) == 0 {
+				e.Step()
+			} else {
+				e.Advance(Duration(rng.Intn(50)))
+			}
+			if e.Now() < last {
+				t.Fatalf("clock went backwards: %v -> %v", last, e.Now())
+			}
+			last = e.Now()
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{1500, "1.50µs"},
+		{2500000, "2.500ms"},
+		{3 * Second, "3.0000s"},
+		{-1500, "-1.50µs"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDurationOf(t *testing.T) {
+	if got := DurationOf(1.5e-3); got != 1500*Microsecond {
+		t.Fatalf("DurationOf(1.5ms) = %v", got)
+	}
+	if got := DurationOf(-1); got != 0 {
+		t.Fatalf("DurationOf(-1) = %v, want 0", got)
+	}
+	if got := DurationOf(0); got != 0 {
+		t.Fatalf("DurationOf(0) = %v, want 0", got)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(2_500_000)
+	if tm.Milliseconds() != 2.5 {
+		t.Fatalf("Milliseconds = %v", tm.Milliseconds())
+	}
+	if tm.Add(500_000) != Time(3_000_000) {
+		t.Fatalf("Add failed")
+	}
+	if tm.Sub(Time(500_000)) != Duration(2_000_000) {
+		t.Fatalf("Sub failed")
+	}
+}

@@ -1,0 +1,83 @@
+// Package sim implements the deterministic discrete-event simulation
+// kernel that underlies the reproduced MIC platform.
+//
+// All performance results in this repository are expressed in virtual
+// time produced by this engine, which makes every experiment exactly
+// reproducible on any machine. The engine is intentionally small: a
+// virtual clock, an ordered event heap, and exclusive FIFO "servers"
+// that model contended hardware resources (a PCIe DMA engine, a core
+// partition). Higher layers (internal/pcie, internal/device,
+// internal/hstreams) compose these primitives into the full platform.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since the start of
+// the simulation. Virtual time has no relation to wall-clock time; it
+// only advances when the engine dispatches events.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration but lives in the simulated clock domain so that the two
+// cannot be mixed accidentally.
+type Duration int64
+
+// Convenient duration units, mirroring the time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Milliseconds returns the time as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / 1e6 }
+
+// Add returns the time shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the time with an adaptive unit, e.g. "12.5ms".
+func (t Time) String() string { return Duration(t).String() }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Milliseconds returns the duration as a floating-point number of milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / 1e6 }
+
+// Microseconds returns the duration as a floating-point number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / 1e3 }
+
+// String formats the duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fµs", d.Microseconds())
+	case d < Second:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.4fs", d.Seconds())
+	}
+}
+
+// DurationOf converts a floating-point number of seconds into a
+// Duration, rounding to the nearest nanosecond. Negative inputs are
+// clamped to zero: the model never produces negative costs, and
+// clamping keeps calibration arithmetic robust against tiny negative
+// round-off.
+func DurationOf(seconds float64) Duration {
+	if seconds <= 0 {
+		return 0
+	}
+	return Duration(seconds*1e9 + 0.5)
+}

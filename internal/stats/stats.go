@@ -1,0 +1,197 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: summary statistics over repeated runs (the paper runs
+// each benchmark for 11 iterations, drops the first and averages), a
+// least-squares line fit (used to check the linearity of Fig. 5's IC
+// and CD series), and shape predicates (monotonicity, unimodality,
+// constancy) with which the test suite asserts that each regenerated
+// figure has the same qualitative form as the paper's.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+// Min returns the smallest element and its index (-1 for empty input).
+func Min(xs []float64) (float64, int) {
+	if len(xs) == 0 {
+		return 0, -1
+	}
+	best, at := xs[0], 0
+	for i, x := range xs[1:] {
+		if x < best {
+			best, at = x, i+1
+		}
+	}
+	return best, at
+}
+
+// Max returns the largest element and its index (-1 for empty input).
+func Max(xs []float64) (float64, int) {
+	if len(xs) == 0 {
+		return 0, -1
+	}
+	best, at := xs[0], 0
+	for i, x := range xs[1:] {
+		if x > best {
+			best, at = x, i+1
+		}
+	}
+	return best, at
+}
+
+// TrimmedMean drops the first skip observations and averages the rest —
+// the paper's measurement protocol ("run each benchmark for 11
+// iterations, ignore the first and calculate the mean").
+func TrimmedMean(xs []float64, skip int) float64 {
+	if skip < 0 {
+		skip = 0
+	}
+	if skip >= len(xs) {
+		return 0
+	}
+	return Mean(xs[skip:])
+}
+
+// LinearFit fits y = a + b·x by least squares and returns the
+// intercept a, slope b, and the coefficient of determination r².
+// It returns an error when fewer than two distinct x values exist.
+func LinearFit(x, y []float64) (a, b, r2 float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, 0, fmt.Errorf("stats: mismatched lengths %d vs %d", len(x), len(y))
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return 0, 0, 0, fmt.Errorf("stats: need at least 2 points, got %d", len(x))
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, fmt.Errorf("stats: degenerate fit, all x equal")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		// A perfectly flat series is perfectly explained.
+		return a, b, 1, nil
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	_ = n
+	return a, b, r2, nil
+}
+
+// IsMonotone reports whether xs is non-decreasing (dir > 0) or
+// non-increasing (dir < 0) within a relative tolerance tol (each step
+// may violate the direction by at most tol × |previous value|).
+func IsMonotone(xs []float64, dir int, tol float64) bool {
+	for i := 1; i < len(xs); i++ {
+		slack := tol * math.Abs(xs[i-1])
+		if dir > 0 && xs[i] < xs[i-1]-slack {
+			return false
+		}
+		if dir < 0 && xs[i] > xs[i-1]+slack {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRoughlyConstant reports whether every element is within rel
+// (relative) of the series mean. Used for Fig. 5's CC and ID lines.
+func IsRoughlyConstant(xs []float64, rel float64) bool {
+	if len(xs) == 0 {
+		return true
+	}
+	m := Mean(xs)
+	if m == 0 {
+		for _, x := range xs {
+			if x != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for _, x := range xs {
+		if math.Abs(x-m) > rel*math.Abs(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsUnimodalMin reports whether the series decreases to a single
+// minimum region and increases after it, within relative tolerance tol
+// per step. This is the "first improves then degrades" shape of Figs. 7
+// and 10.
+func IsUnimodalMin(xs []float64, tol float64) bool {
+	if len(xs) < 3 {
+		return true
+	}
+	_, at := Min(xs)
+	return IsMonotone(xs[:at+1], -1, tol) && IsMonotone(xs[at:], +1, tol)
+}
+
+// Speedup returns before/after: >1 means after is faster, for
+// execution-time metrics.
+func Speedup(before, after float64) float64 {
+	if after == 0 {
+		return math.Inf(1)
+	}
+	return before / after
+}
+
+// GFlops converts a flop count and seconds into GFLOPS.
+func GFlops(flops, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return flops / seconds / 1e9
+}

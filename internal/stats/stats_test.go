@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedianStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2.138) > 0.01 {
+		t.Fatalf("stddev = %v, want ≈2.138", sd)
+	}
+	if md := Median(xs); md != 4.5 {
+		t.Fatalf("median = %v, want 4.5", md)
+	}
+	if md := Median([]float64{3, 1, 2}); md != 2 {
+		t.Fatalf("odd median = %v, want 2", md)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty inputs should give 0")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-element stddev should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{5, 1, 9, 1}
+	if v, i := Min(xs); v != 1 || i != 1 {
+		t.Fatalf("Min = (%v,%d), want (1,1) — first occurrence", v, i)
+	}
+	if v, i := Max(xs); v != 9 || i != 2 {
+		t.Fatalf("Max = (%v,%d), want (9,2)", v, i)
+	}
+	if _, i := Min(nil); i != -1 {
+		t.Fatal("empty Min index should be -1")
+	}
+	if _, i := Max(nil); i != -1 {
+		t.Fatal("empty Max index should be -1")
+	}
+}
+
+func TestTrimmedMeanMatchesPaperProtocol(t *testing.T) {
+	// 11 runs, first is warmup.
+	runs := []float64{100, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10}
+	if m := TrimmedMean(runs, 1); m != 10 {
+		t.Fatalf("trimmed mean = %v, want 10", m)
+	}
+	if m := TrimmedMean(runs, 0); m != Mean(runs) {
+		t.Fatalf("skip=0 should be plain mean")
+	}
+	if m := TrimmedMean([]float64{1}, 5); m != 0 {
+		t.Fatalf("over-trim should give 0, got %v", m)
+	}
+	if m := TrimmedMean(runs, -3); m != Mean(runs) {
+		t.Fatalf("negative skip clamps to 0, got %v", m)
+	}
+}
+
+func TestLinearFitRecoversLine(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-2) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("fit = (%v, %v, %v), want (1, 2, 1)", a, b, r2)
+	}
+}
+
+func TestLinearFitFlatSeries(t *testing.T) {
+	_, b, r2, err := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0 || r2 != 1 {
+		t.Fatalf("flat fit = slope %v r2 %v, want 0 and 1", b, r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+func TestIsMonotone(t *testing.T) {
+	up := []float64{1, 2, 3, 3, 4}
+	if !IsMonotone(up, +1, 0) {
+		t.Fatal("non-decreasing series rejected")
+	}
+	if IsMonotone(up, -1, 0) {
+		t.Fatal("increasing series accepted as decreasing")
+	}
+	noisy := []float64{1, 2, 1.95, 3}
+	if !IsMonotone(noisy, +1, 0.05) {
+		t.Fatal("2.5% dip rejected at 5% tolerance")
+	}
+	if IsMonotone(noisy, +1, 0.01) {
+		t.Fatal("2.5% dip accepted at 1% tolerance")
+	}
+}
+
+func TestIsRoughlyConstant(t *testing.T) {
+	if !IsRoughlyConstant([]float64{10, 10.4, 9.6}, 0.05) {
+		t.Fatal("±4% series rejected at 5%")
+	}
+	if IsRoughlyConstant([]float64{10, 12}, 0.05) {
+		t.Fatal("±10% series accepted at 5%")
+	}
+	if !IsRoughlyConstant(nil, 0.01) {
+		t.Fatal("empty series should be constant")
+	}
+	if !IsRoughlyConstant([]float64{0, 0}, 0.01) {
+		t.Fatal("all-zero series should be constant")
+	}
+	if IsRoughlyConstant([]float64{0, 1}, 0.01) {
+		t.Fatal("zero-mean-ish nonzero series accepted")
+	}
+}
+
+func TestIsUnimodalMin(t *testing.T) {
+	if !IsUnimodalMin([]float64{9, 5, 3, 4, 8}, 0) {
+		t.Fatal("clean V rejected")
+	}
+	if IsUnimodalMin([]float64{9, 3, 8, 2, 9}, 0) {
+		t.Fatal("W accepted")
+	}
+	if !IsUnimodalMin([]float64{1, 2}, 0) {
+		t.Fatal("short series should pass trivially")
+	}
+	// Monotone decreasing counts as unimodal (min at the end).
+	if !IsUnimodalMin([]float64{5, 4, 3}, 0) {
+		t.Fatal("monotone decreasing rejected")
+	}
+}
+
+func TestSpeedupAndGFlops(t *testing.T) {
+	if s := Speedup(10, 5); s != 2 {
+		t.Fatalf("speedup = %v, want 2", s)
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Fatal("zero-after speedup should be +Inf")
+	}
+	if g := GFlops(2e9, 2); g != 1 {
+		t.Fatalf("GFlops = %v, want 1", g)
+	}
+	if GFlops(1, 0) != 0 {
+		t.Fatal("zero-time GFlops should be 0")
+	}
+}
+
+// Property: mean is within [min, max]; stddev is non-negative; the
+// least-squares line passes through the centroid.
+func TestPropertySummaryInvariants(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		m := Mean(xs)
+		lo, _ := Min(xs)
+		hi, _ := Max(xs)
+		if m < lo-1e-9 || m > hi+1e-9 {
+			return false
+		}
+		if StdDev(xs) < 0 {
+			return false
+		}
+		idx := make([]float64, len(xs))
+		for i := range idx {
+			idx[i] = float64(i)
+		}
+		a, b, _, err := LinearFit(idx, xs)
+		if err != nil {
+			return true // degenerate inputs are fine
+		}
+		return math.Abs(a+b*Mean(idx)-m) < 1e-6*(1+math.Abs(m))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

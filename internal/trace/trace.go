@@ -1,0 +1,278 @@
+// Package trace records what happened on each simulated resource and
+// when. The paper reasons about stream performance through the overlap
+// (or lack of overlap) of three stage classes — H2D transfers, kernel
+// execution, and D2H transfers — so the tracer's main analysis products
+// are per-class busy time and pairwise overlap between classes. It also
+// renders ASCII Gantt charts (cmd/micgantt) that make the temporal
+// sharing of Fig. 1 directly visible.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"micstream/internal/sim"
+)
+
+// Kind classifies a span by pipeline stage.
+type Kind uint8
+
+// Span classes. H2D/D2H/Kernel mirror the paper's three offload stages;
+// Host covers CPU-side work between syncs, Alloc covers device memory
+// management overhead that the paper identifies in Kmeans.
+const (
+	H2D Kind = iota
+	D2H
+	Kernel
+	Host
+	Alloc
+	Sync
+)
+
+var kindNames = [...]string{"H2D", "D2H", "EXE", "HOST", "ALLOC", "SYNC"}
+
+// String returns the short stage label used in paper-style flow charts.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Span is one contiguous occupancy of a resource.
+type Span struct {
+	Resource string   // e.g. "mic0/pcie", "mic0/part3"
+	Stream   int      // logical stream id, -1 if not stream-bound
+	Task     int      // application task id, -1 if not task-bound
+	Kind     Kind     // stage class
+	Label    string   // free-form, e.g. kernel name
+	Start    sim.Time // inclusive
+	End      sim.Time // exclusive
+}
+
+// Duration reports the span length.
+func (s Span) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+// Recorder accumulates spans. A nil *Recorder is a valid no-op sink, so
+// hot paths can record unconditionally.
+type Recorder struct {
+	spans []Span
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add appends a span. Calls on a nil recorder are dropped.
+func (r *Recorder) Add(s Span) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, s)
+}
+
+// Reset discards all recorded spans but keeps the recorder usable.
+func (r *Recorder) Reset() {
+	if r != nil {
+		r.spans = r.spans[:0]
+	}
+}
+
+// Spans returns the recorded spans in insertion order. The returned
+// slice aliases the recorder's storage; callers must not mutate it.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Len reports the number of recorded spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// Makespan reports the end of the latest span.
+func (r *Recorder) Makespan() sim.Time {
+	var m sim.Time
+	for _, s := range r.Spans() {
+		if s.End > m {
+			m = s.End
+		}
+	}
+	return m
+}
+
+// BusyTime reports the union length of all spans of the given kind —
+// i.e. wall time during which at least one span of that kind was
+// active. Overlapping spans (different partitions computing at once)
+// are not double counted.
+func (r *Recorder) BusyTime(kind Kind) sim.Duration {
+	return unionLength(r.intervals(func(s Span) bool { return s.Kind == kind }))
+}
+
+// TotalTime reports the summed lengths of all spans of the given kind,
+// counting concurrent spans multiply (resource-seconds).
+func (r *Recorder) TotalTime(kind Kind) sim.Duration {
+	var t sim.Duration
+	for _, s := range r.Spans() {
+		if s.Kind == kind {
+			t += s.Duration()
+		}
+	}
+	return t
+}
+
+// Overlap reports the wall time during which at least one span of kind
+// a and one span of kind b were simultaneously active. This is the
+// paper's "temporal sharing": Overlap(H2D, Kernel) > 0 means transfers
+// were hidden behind compute.
+func (r *Recorder) Overlap(a, b Kind) sim.Duration {
+	ia := r.intervals(func(s Span) bool { return s.Kind == a })
+	ib := r.intervals(func(s Span) bool { return s.Kind == b })
+	return intersectionLength(mergeIntervals(ia), mergeIntervals(ib))
+}
+
+// TransferComputeOverlap reports overlap of any transfer (H2D or D2H)
+// with kernel execution, as a fraction of total transfer busy time.
+// Returns 0 when there were no transfers.
+func (r *Recorder) TransferComputeOverlap() float64 {
+	xfer := mergeIntervals(r.intervals(func(s Span) bool { return s.Kind == H2D || s.Kind == D2H }))
+	exe := mergeIntervals(r.intervals(func(s Span) bool { return s.Kind == Kernel }))
+	total := unionLength(xfer)
+	if total == 0 {
+		return 0
+	}
+	return intersectionLength(xfer, exe).Seconds() / total.Seconds()
+}
+
+type interval struct{ lo, hi sim.Time }
+
+func (r *Recorder) intervals(keep func(Span) bool) []interval {
+	var out []interval
+	for _, s := range r.Spans() {
+		if keep(s) && s.End > s.Start {
+			out = append(out, interval{s.Start, s.End})
+		}
+	}
+	return out
+}
+
+// mergeIntervals sorts and coalesces overlapping intervals.
+func mergeIntervals(in []interval) []interval {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].lo < in[j].lo })
+	out := in[:1]
+	for _, iv := range in[1:] {
+		last := &out[len(out)-1]
+		if iv.lo <= last.hi {
+			if iv.hi > last.hi {
+				last.hi = iv.hi
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+func unionLength(in []interval) sim.Duration {
+	var t sim.Duration
+	for _, iv := range mergeIntervals(in) {
+		t += iv.hi.Sub(iv.lo)
+	}
+	return t
+}
+
+// intersectionLength computes the total length of the intersection of
+// two already-merged interval sets.
+func intersectionLength(a, b []interval) sim.Duration {
+	var t sim.Duration
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].lo
+		if b[j].lo > lo {
+			lo = b[j].lo
+		}
+		hi := a[i].hi
+		if b[j].hi < hi {
+			hi = b[j].hi
+		}
+		if hi > lo {
+			t += hi.Sub(lo)
+		}
+		if a[i].hi < b[j].hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return t
+}
+
+// Gantt renders the trace as an ASCII chart, one row per resource,
+// width columns wide. Each cell shows the stage class active at that
+// virtual instant ('H' H2D, 'D' D2H, '#' kernel, 'h' host, 'a' alloc),
+// '.' for idle. Rows are sorted by resource name for stable output.
+func (r *Recorder) Gantt(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	spans := r.Spans()
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	makespan := r.Makespan()
+	if makespan == 0 {
+		makespan = 1
+	}
+	byRes := map[string][]Span{}
+	for _, s := range spans {
+		byRes[s.Resource] = append(byRes[s.Resource], s)
+	}
+	names := make([]string, 0, len(byRes))
+	nameW := 0
+	for n := range byRes {
+		names = append(names, n)
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	sort.Strings(names)
+	glyph := map[Kind]byte{H2D: 'H', D2H: 'D', Kernel: '#', Host: 'h', Alloc: 'a', Sync: 's'}
+	for _, n := range names {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range byRes[n] {
+			lo := int(int64(s.Start) * int64(width) / int64(makespan))
+			hi := int(int64(s.End) * int64(width) / int64(makespan))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			g := glyph[s.Kind]
+			if g == 0 {
+				g = '?'
+			}
+			for i := lo; i < hi; i++ {
+				row[i] = g
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", nameW, n, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  0%s%v\n", nameW, "", strings.Repeat(" ", width-len(makespan.String())), makespan)
+	return err
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"micstream/internal/sim"
+)
+
+func span(res string, kind Kind, start, end sim.Time) Span {
+	return Span{Resource: res, Stream: -1, Task: -1, Kind: kind, Start: start, End: end}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(span("x", H2D, 0, 10)) // must not panic
+	r.Reset()
+	if r.Len() != 0 || r.Spans() != nil {
+		t.Fatal("nil recorder should report empty")
+	}
+	if r.BusyTime(H2D) != 0 {
+		t.Fatal("nil recorder busy time should be 0")
+	}
+}
+
+func TestBusyTimeCoalescesOverlaps(t *testing.T) {
+	r := NewRecorder()
+	r.Add(span("p0", Kernel, 0, 100))
+	r.Add(span("p1", Kernel, 50, 150)) // overlaps the first
+	r.Add(span("p2", Kernel, 200, 250))
+	if got := r.BusyTime(Kernel); got != 200 {
+		t.Fatalf("BusyTime = %v, want 200 (union of [0,150] and [200,250])", got)
+	}
+	if got := r.TotalTime(Kernel); got != 250 {
+		t.Fatalf("TotalTime = %v, want 250 (sum)", got)
+	}
+}
+
+func TestOverlapBetweenKinds(t *testing.T) {
+	r := NewRecorder()
+	r.Add(span("link", H2D, 0, 100))
+	r.Add(span("p0", Kernel, 60, 160))
+	if got := r.Overlap(H2D, Kernel); got != 40 {
+		t.Fatalf("Overlap = %v, want 40", got)
+	}
+	if got := r.Overlap(D2H, Kernel); got != 0 {
+		t.Fatalf("Overlap(D2H, Kernel) = %v, want 0", got)
+	}
+}
+
+func TestTransferComputeOverlapFraction(t *testing.T) {
+	r := NewRecorder()
+	r.Add(span("link", H2D, 0, 100))
+	r.Add(span("link", D2H, 100, 200))
+	r.Add(span("p0", Kernel, 50, 150))
+	// transfers busy [0,200]=200; kernel [50,150]; intersection=100.
+	if got := r.TransferComputeOverlap(); got != 0.5 {
+		t.Fatalf("TransferComputeOverlap = %v, want 0.5", got)
+	}
+	// No transfers -> 0, not NaN.
+	empty := NewRecorder()
+	empty.Add(span("p0", Kernel, 0, 10))
+	if got := empty.TransferComputeOverlap(); got != 0 {
+		t.Fatalf("overlap with no transfers = %v, want 0", got)
+	}
+}
+
+func TestMakespanAndReset(t *testing.T) {
+	r := NewRecorder()
+	r.Add(span("a", H2D, 0, 10))
+	r.Add(span("b", Kernel, 5, 42))
+	if r.Makespan() != 42 {
+		t.Fatalf("makespan = %v, want 42", r.Makespan())
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Makespan() != 0 {
+		t.Fatal("reset did not clear recorder")
+	}
+}
+
+func TestZeroLengthSpansIgnoredInAnalysis(t *testing.T) {
+	r := NewRecorder()
+	r.Add(span("a", Kernel, 10, 10))
+	if r.BusyTime(Kernel) != 0 {
+		t.Fatalf("zero-length span contributed busy time")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("zero-length span should still be recorded")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{H2D: "H2D", D2H: "D2H", Kernel: "EXE", Host: "HOST", Alloc: "ALLOC", Sync: "SYNC"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestGanttRendersAllResources(t *testing.T) {
+	r := NewRecorder()
+	r.Add(span("mic0/pcie", H2D, 0, 50))
+	r.Add(span("mic0/part0", Kernel, 50, 100))
+	var sb strings.Builder
+	if err := r.Gantt(&sb, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "mic0/pcie") || !strings.Contains(out, "mic0/part0") {
+		t.Fatalf("Gantt missing resources:\n%s", out)
+	}
+	if !strings.Contains(out, "H") || !strings.Contains(out, "#") {
+		t.Fatalf("Gantt missing glyphs:\n%s", out)
+	}
+}
+
+func TestGanttEmptyTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := NewRecorder().Gantt(&sb, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatalf("empty gantt output = %q", sb.String())
+	}
+}
+
+// Property: overlap is symmetric, bounded by each class's busy time,
+// and busy time is bounded by total time.
+func TestPropertyOverlapBounds(t *testing.T) {
+	f := func(raw []struct {
+		Res   uint8
+		Kind  uint8
+		Start uint16
+		Len   uint8
+	}) bool {
+		r := NewRecorder()
+		for _, x := range raw {
+			k := Kind(x.Kind % 3)
+			start := sim.Time(x.Start)
+			r.Add(Span{
+				Resource: string(rune('a' + x.Res%4)),
+				Kind:     k,
+				Start:    start,
+				End:      start.Add(sim.Duration(x.Len)),
+				Stream:   -1, Task: -1,
+			})
+		}
+		for a := H2D; a <= Kernel; a++ {
+			if r.BusyTime(a) > r.TotalTime(a) {
+				return false
+			}
+			for b := H2D; b <= Kernel; b++ {
+				ov, vo := r.Overlap(a, b), r.Overlap(b, a)
+				if ov != vo {
+					return false // asymmetric
+				}
+				if ov > r.BusyTime(a) || ov > r.BusyTime(b) {
+					return false // overlap exceeds a side
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Overlap(k, k) equals BusyTime(k).
+func TestPropertySelfOverlapIsBusyTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		r := NewRecorder()
+		for i := 0; i < 30; i++ {
+			s := sim.Time(rng.Intn(1000))
+			r.Add(span("x", Kernel, s, s.Add(sim.Duration(rng.Intn(100)))))
+		}
+		if r.Overlap(Kernel, Kernel) != r.BusyTime(Kernel) {
+			t.Fatalf("self overlap %v != busy %v", r.Overlap(Kernel, Kernel), r.BusyTime(Kernel))
+		}
+	}
+}

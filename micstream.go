@@ -1,0 +1,186 @@
+// Package micstream is a Go reproduction of "Evaluating the Performance
+// Impact of Multiple Streams on the MIC-based Heterogeneous Platform"
+// (Li et al., 2016, arXiv:1603.08619).
+//
+// It provides an hStreams-like multiple-streams programming model — an
+// offload runtime where logical streams bind to partitions of a
+// many-core coprocessor, transfers and kernels enqueue asynchronously
+// with FIFO order per stream and events across streams — running on a
+// deterministic simulated platform modeled after the paper's testbed
+// (Intel Xeon Phi 31SP behind a half-duplex PCIe link).
+//
+// The package is organized as:
+//
+//   - Platform: a configured context (devices, partitions, streams);
+//   - Buffer / Stream / Event: the asynchronous offload primitives;
+//   - Task / RunTasks: the tiled-offload pipeline layer used by the
+//     paper's applications (H2D*, kernel, D2H* per task, with
+//     cross-stream dependencies);
+//   - Tune and the Candidate* helpers: the paper's §V-C task- and
+//     resource-granularity search with pruning heuristics;
+//   - RunExperiment: regenerates any figure of the paper's evaluation.
+//
+// Timing is virtual and exactly reproducible: performance numbers come
+// from a discrete-event model calibrated against the paper (see
+// DESIGN.md), while kernels can also execute real Go code on real data
+// for functional verification.
+package micstream
+
+import (
+	"fmt"
+	"io"
+
+	"micstream/internal/device"
+	"micstream/internal/hstreams"
+	"micstream/internal/pcie"
+	"micstream/internal/sim"
+	"micstream/internal/trace"
+)
+
+// Platform is an initialized simulated heterogeneous system: one or
+// more coprocessors partitioned into places with streams bound to them.
+type Platform struct {
+	ctx *hstreams.Context
+}
+
+// Option configures NewPlatform.
+type Option func(*hstreams.Config)
+
+// WithDevices sets the number of coprocessors (default 1).
+func WithDevices(n int) Option {
+	return func(c *hstreams.Config) { c.Devices = n }
+}
+
+// WithPartitions sets the number of partitions ("places") per device
+// (default 1).
+func WithPartitions(n int) Option {
+	return func(c *hstreams.Config) { c.Partitions = n }
+}
+
+// WithStreamsPerPartition sets how many logical streams share each
+// partition (default 1).
+func WithStreamsPerPartition(n int) Option {
+	return func(c *hstreams.Config) { c.StreamsPerPartition = n }
+}
+
+// WithFunctionalKernels enables the functional model: kernel bodies
+// execute and transfers move real data. Without it the platform is
+// timing-only (paper-scale experiments).
+func WithFunctionalKernels() Option {
+	return func(c *hstreams.Config) { c.ExecuteKernels = true }
+}
+
+// WithLink overrides the PCIe model: bandwidth in bytes/second and
+// per-transfer latency in nanoseconds.
+func WithLink(bandwidthBps float64, latencyNs int64) Option {
+	return func(c *hstreams.Config) {
+		c.Link.BandwidthBps = bandwidthBps
+		c.Link.LatencyNs = latencyNs
+	}
+}
+
+// WithFullDuplexLink lets H2D and D2H proceed concurrently — the
+// ablation of the paper's serialized-transfers finding.
+func WithFullDuplexLink() Option {
+	return func(c *hstreams.Config) {
+		if c.Link.BandwidthBps == 0 {
+			c.Link = pcie.DefaultConfig()
+		}
+		c.Link.FullDuplex = true
+	}
+}
+
+// WithDeviceConfig replaces the coprocessor model (default: the
+// paper's Xeon Phi 31SP).
+func WithDeviceConfig(cfg DeviceConfig) Option {
+	return func(c *hstreams.Config) { c.Device = cfg }
+}
+
+// NewPlatform builds a platform. With no options it models the paper's
+// testbed: one Xeon Phi 31SP with a single partition and stream behind
+// a half-duplex PCIe link, timing-only.
+func NewPlatform(opts ...Option) (*Platform, error) {
+	cfg := hstreams.Config{Trace: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	ctx, err := hstreams.Init(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{ctx: ctx}, nil
+}
+
+// NumStreams reports the total logical stream count.
+func (p *Platform) NumStreams() int { return p.ctx.NumStreams() }
+
+// NumDevices reports the coprocessor count.
+func (p *Platform) NumDevices() int { return p.ctx.NumDevices() }
+
+// Stream returns logical stream i (device-major, partition-major).
+func (p *Platform) Stream(i int) *Stream { return p.ctx.Stream(i) }
+
+// Now reports the current virtual time.
+func (p *Platform) Now() sim.Time { return p.ctx.Now() }
+
+// Barrier blocks until every stream has drained and returns the
+// virtual time afterwards.
+func (p *Platform) Barrier() sim.Time { return p.ctx.Barrier() }
+
+// HostWork advances the host clock by d nanoseconds of CPU-side work;
+// device work already enqueued continues during the window.
+func (p *Platform) HostWork(ns int64, label string) {
+	p.ctx.HostWork(sim.Duration(ns), label)
+}
+
+// Elapsed reports the virtual time as a float64 number of seconds.
+func (p *Platform) Elapsed() float64 { return p.ctx.Now().Seconds() }
+
+// Gantt renders the recorded timeline as an ASCII chart.
+func (p *Platform) Gantt(w io.Writer, width int) error {
+	rec := p.ctx.Recorder()
+	if rec == nil {
+		return fmt.Errorf("micstream: platform has no trace recorder")
+	}
+	return rec.Gantt(w, width)
+}
+
+// OverlapFraction reports how much of the platform's transfer time was
+// hidden behind kernel execution so far (temporal sharing achieved).
+func (p *Platform) OverlapFraction() float64 {
+	rec := p.ctx.Recorder()
+	if rec == nil {
+		return 0
+	}
+	return rec.TransferComputeOverlap()
+}
+
+// TransferBusy reports cumulative H2D plus D2H link occupancy.
+func (p *Platform) TransferBusy() sim.Duration {
+	rec := p.ctx.Recorder()
+	if rec == nil {
+		return 0
+	}
+	return rec.BusyTime(trace.H2D) + rec.BusyTime(trace.D2H)
+}
+
+// KernelBusy reports cumulative kernel occupancy (union across
+// partitions).
+func (p *Platform) KernelBusy() sim.Duration {
+	rec := p.ctx.Recorder()
+	if rec == nil {
+		return 0
+	}
+	return rec.BusyTime(trace.Kernel)
+}
+
+// Context exposes the underlying runtime for advanced use (the
+// experiment harness and tests).
+func (p *Platform) Context() *hstreams.Context { return p.ctx }
+
+// Xeon31SP returns the device model of the paper's coprocessor.
+func Xeon31SP() DeviceConfig { return device.Xeon31SP() }
+
+// DefaultLink returns the PCIe model calibrated to the paper's
+// platform (≈6.5 GB/s, ≈10 µs setup, half-duplex).
+func DefaultLink() LinkConfig { return pcie.DefaultConfig() }

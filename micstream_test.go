@@ -1,0 +1,219 @@
+package micstream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewPlatformDefaults(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumDevices() != 1 || p.NumStreams() != 1 {
+		t.Fatalf("default platform: %d devices, %d streams", p.NumDevices(), p.NumStreams())
+	}
+}
+
+func TestOptionsCompose(t *testing.T) {
+	p, err := NewPlatform(WithDevices(2), WithPartitions(4), WithStreamsPerPartition(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStreams() != 16 {
+		t.Fatalf("streams = %d, want 16", p.NumStreams())
+	}
+}
+
+func TestInvalidOptionSurfacesError(t *testing.T) {
+	if _, err := NewPlatform(WithDevices(-1)); err == nil {
+		t.Fatal("negative devices accepted")
+	}
+	bad := Xeon31SP()
+	bad.ClockHz = -1
+	if _, err := NewPlatform(WithDeviceConfig(bad)); err == nil {
+		t.Fatal("invalid device config accepted")
+	}
+}
+
+func TestEndToEndFunctionalPipeline(t *testing.T) {
+	p, err := NewPlatform(WithPartitions(2), WithFunctionalKernels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := make([]float64, 1024)
+	for i := range host {
+		host[i] = float64(i)
+	}
+	buf := Alloc1D(p, "v", host)
+	const tiles = 4
+	var tasks []*Task
+	for i := 0; i < tiles; i++ {
+		off := i * len(host) / tiles
+		n := len(host) / tiles
+		tasks = append(tasks, &Task{
+			ID:   i,
+			H2D:  []TransferSpec{Xfer(buf, off, n)},
+			Cost: KernelCost{Name: "scale", Flops: float64(n)},
+			Body: func(k *KernelCtx) {
+				dev := DeviceSlice[float64](buf, k.DeviceIndex)
+				for j := off; j < off+n; j++ {
+					dev[j] *= 2
+				}
+			},
+			D2H:        []TransferSpec{Xfer(buf, off, n)},
+			StreamHint: -1,
+		})
+	}
+	res, err := RunTasks(p, tasks, float64(len(host)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wall <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	for i, v := range host {
+		if v != float64(i)*2 {
+			t.Fatalf("host[%d] = %v, want %v", i, v, float64(i)*2)
+		}
+	}
+	if p.OverlapFraction() <= 0 {
+		t.Fatal("pipelined run achieved no overlap")
+	}
+	if p.TransferBusy() <= 0 || p.KernelBusy() <= 0 {
+		t.Fatal("busy-time accounting empty")
+	}
+}
+
+func TestGanttRenders(t *testing.T) {
+	p, err := NewPlatform(WithPartitions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := AllocVirtual(p, "v", 1<<20, 4)
+	tasks := []*Task{{
+		ID:         0,
+		H2D:        []TransferSpec{Xfer(buf, 0, buf.Len())},
+		Cost:       KernelCost{Name: "k", Flops: 1e9},
+		D2H:        []TransferSpec{Xfer(buf, 0, buf.Len())},
+		StreamHint: -1,
+	}}
+	if _, err := RunTasks(p, tasks, 0); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := p.Gantt(&sb, 60); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mic0") {
+		t.Fatalf("gantt missing device row:\n%s", sb.String())
+	}
+}
+
+func TestHostWorkAdvancesClock(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.HostWork(1_000_000, "prep")
+	if p.Elapsed() != 1e-3 {
+		t.Fatalf("elapsed = %v, want 1ms", p.Elapsed())
+	}
+	if p.Now() != Time(1_000_000) {
+		t.Fatalf("now = %v", p.Now())
+	}
+}
+
+func TestFullDuplexAblation(t *testing.T) {
+	run := func(opts ...Option) Duration {
+		p, err := NewPlatform(append(opts, WithPartitions(2))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := AllocVirtual(p, "v", 8<<20, 1)
+		// Independent streams so any serialization comes from the
+		// link, not per-stream FIFO order.
+		if _, err := p.Stream(0).EnqueueH2D(buf, 0, buf.Len(), 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Stream(1).EnqueueD2H(buf, 0, buf.Len(), 1); err != nil {
+			t.Fatal(err)
+		}
+		return Duration(p.Barrier())
+	}
+	half := run()
+	full := run(WithFullDuplexLink())
+	if full >= half {
+		t.Fatalf("full-duplex (%v) should beat half-duplex (%v) on bidirectional traffic", full, half)
+	}
+}
+
+func TestRunExperimentUnknownID(t *testing.T) {
+	err := RunExperiment("nope", nil)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, ok := err.(*UnknownExperimentError); !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error message %q lacks the id", err.Error())
+	}
+}
+
+func TestRunExperimentRenders(t *testing.T) {
+	var sb strings.Builder
+	if err := RunExperiment("fig5", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fig5") || !strings.Contains(sb.String(), "CC[ms]") {
+		t.Fatalf("fig5 output malformed:\n%s", sb.String())
+	}
+	if len(ExperimentIDs()) < 20 {
+		t.Fatalf("expected ≥20 experiments, got %v", ExperimentIDs())
+	}
+	sb.Reset()
+	if err := RunExperimentCSV("fig5", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "#blocks,CC[ms]") {
+		t.Fatalf("CSV output malformed:\n%s", sb.String())
+	}
+	if err := RunExperimentCSV("nope", &sb); err == nil {
+		t.Fatal("unknown CSV experiment accepted")
+	}
+}
+
+func TestTuningHelpers(t *testing.T) {
+	cand := CandidatePartitions(Xeon31SP())
+	if len(cand) != 8 || cand[len(cand)-1] != 56 {
+		t.Fatalf("candidates = %v", cand)
+	}
+	tiles := CandidateTiles(4, 100)
+	if len(tiles) == 0 {
+		t.Fatal("no tile candidates")
+	}
+	if HeuristicSpace(56, 400).Size() >= ExhaustiveSpace(56, 400).Size() {
+		t.Fatal("heuristic space not smaller")
+	}
+	res, err := Tune(SearchSpace{
+		Partitions: []int{1, 2},
+		TilesFor:   func(int) []int { return []int{1} },
+	}, func(p, tt int) (float64, error) { return float64(p), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions != 1 {
+		t.Fatalf("tuner picked P=%d", res.Partitions)
+	}
+}
+
+func TestDefaultLinkIsHalfDuplexPaperCalibrated(t *testing.T) {
+	l := DefaultLink()
+	if l.FullDuplex {
+		t.Fatal("default link should be half-duplex (paper finding 1)")
+	}
+	if l.BandwidthBps < 6e9 || l.BandwidthBps > 7e9 {
+		t.Fatalf("bandwidth %.2g, want ≈6.5 GB/s", l.BandwidthBps)
+	}
+}
