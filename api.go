@@ -8,6 +8,7 @@ import (
 	"micstream/internal/experiments"
 	"micstream/internal/hstreams"
 	"micstream/internal/pcie"
+	"micstream/internal/sched"
 	"micstream/internal/sim"
 )
 
@@ -125,9 +126,75 @@ func CandidatePartitions(cfg DeviceConfig) []int { return core.CandidatePartitio
 // partition count (multiples of P, thinned geometrically).
 func CandidateTiles(p, maxTiles int) []int { return core.CandidateTiles(p, maxTiles) }
 
+// Online multi-tenant scheduling layer, re-exported from the sched
+// package: many concurrent workloads contending for the platform's
+// partitions and PCIe link, instead of RunTasks' one job at a time.
+type (
+	// Scheduler admits a stream of tenant-tagged jobs onto the
+	// platform and dispatches them under a pluggable policy.
+	Scheduler = sched.Scheduler
+	// Job is one unit of admission: a []*Task workload with a tenant
+	// label and a virtual arrival time.
+	Job = sched.Job
+	// SchedResult is the outcome of a Scheduler.Run: per-job
+	// lifecycles, per-tenant throughput and latency percentiles, and
+	// Jain's fairness indices.
+	SchedResult = sched.Result
+	// SchedPolicy decides dispatch order and placement; see FIFO,
+	// RoundRobin, SJF and PolicyByName.
+	SchedPolicy = sched.Policy
+	// SchedOption configures NewScheduler.
+	SchedOption = sched.Option
+	// TenantStats is one tenant's aggregate accounting inside a
+	// SchedResult.
+	TenantStats = sched.TenantStats
+	// JobOutcome is one job's recorded lifecycle inside a SchedResult.
+	JobOutcome = sched.JobOutcome
+	// ScenarioConfig parameterizes BuildScenario's synthetic
+	// multi-tenant workloads.
+	ScenarioConfig = sched.ScenarioConfig
+)
+
+// NewScheduler builds an online scheduler over the platform's streams.
+func NewScheduler(p *Platform, opts ...SchedOption) (*Scheduler, error) {
+	return sched.New(p.ctx, opts...)
+}
+
+// WithPolicy selects the scheduling policy (default FIFO).
+func WithPolicy(policy SchedPolicy) SchedOption { return sched.WithPolicy(policy) }
+
+// FIFOPolicy serves jobs in arrival order on the lowest idle stream.
+func FIFOPolicy() SchedPolicy { return sched.FIFO() }
+
+// RoundRobinPolicy serves jobs in arrival order, rotating placement
+// across partitions.
+func RoundRobinPolicy() SchedPolicy { return sched.RoundRobin() }
+
+// SJFPolicy serves the shortest queued job first on the least-loaded
+// idle stream.
+func SJFPolicy() SchedPolicy { return sched.SJF() }
+
+// PolicyByName returns a fresh "fifo", "rr" or "sjf" policy.
+func PolicyByName(name string) (SchedPolicy, error) { return sched.ByName(name) }
+
+// PolicyNames lists the built-in scheduling policies.
+func PolicyNames() []string { return sched.Policies() }
+
+// BuildScenario generates a deterministic synthetic multi-tenant job
+// stream on the platform: four tenants submitting under a
+// load-imbalance pattern ("balanced", "mild", "moderate", "severe")
+// with seeded stochastic arrivals.
+func BuildScenario(p *Platform, cfg ScenarioConfig) ([]Job, error) {
+	return sched.BuildScenario(p.ctx, cfg)
+}
+
+// PatternNames lists the built-in load-imbalance patterns.
+func PatternNames() []string { return sched.Patterns() }
+
 // RunExperiment regenerates one of the paper's figures (e.g. "fig5",
-// "fig9a", "fig11", "heuristics") and renders it to w as an aligned
-// text table.
+// "fig9a", "fig11", "heuristics") or one of the scheduler studies
+// ("fairness", "imbalance") and renders it to w as an aligned text
+// table.
 func RunExperiment(id string, w io.Writer) error {
 	return runExperiment(id, w, false)
 }

@@ -1,6 +1,7 @@
 package micstream
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -120,5 +121,63 @@ func TestCandidateTilesFacade(t *testing.T) {
 		if v%7 != 0 {
 			t.Fatalf("tile %d not a multiple of 7", v)
 		}
+	}
+}
+
+func TestFacadeScheduler(t *testing.T) {
+	p, err := NewPlatform(WithPartitions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := BuildScenario(p, ScenarioConfig{Pattern: "mild", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := PolicyByName("sjf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(p, WithPolicy(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Jobs) != 10+20+30+40 {
+		t.Fatalf("completed %d jobs, want 100", len(r.Jobs))
+	}
+	if r.JainSlowdown <= 0 || r.JainSlowdown > 1 {
+		t.Fatalf("Jain index %v out of range", r.JainSlowdown)
+	}
+	if len(PolicyNames()) != 3 || len(PatternNames()) != 4 {
+		t.Fatalf("policy/pattern listings incomplete: %v %v", PolicyNames(), PatternNames())
+	}
+	// The platform's virtual clock advanced with the schedule.
+	if p.Elapsed() <= 0 {
+		t.Fatal("platform clock did not advance")
+	}
+}
+
+func TestFacadeSchedExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	for _, want := range []string{"fairness", "imbalance"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ExperimentIDs() missing %q: %v", want, ids)
+		}
+	}
+	var buf strings.Builder
+	if err := RunExperiment("imbalance", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "severe") {
+		t.Fatal("imbalance table missing the severe pattern")
 	}
 }

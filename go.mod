@@ -1,0 +1,3 @@
+module micstream
+
+go 1.22

@@ -29,6 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "heuristics",
 		"ablation-duplex", "ablation-contention", "ablation-alloc",
 		"ext-hotspot-pipe", "ext-multimic", "ext-taxonomy",
+		"fairness", "imbalance",
 	}
 	ids := IDs()
 	got := map[string]bool{}

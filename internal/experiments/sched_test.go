@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+// regenerate runs a registered experiment and returns its table.
+func regenerate(t *testing.T, id string) *Table {
+	t.Helper()
+	g, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	tab, err := g()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestSchedExperimentsRegistered(t *testing.T) {
+	for _, id := range []string{"fairness", "imbalance"} {
+		found := false
+		for _, have := range IDs() {
+			if have == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q missing from IDs()", id)
+		}
+	}
+}
+
+func TestFairnessShape(t *testing.T) {
+	tab := regenerate(t, "fairness")
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fairness has %d rows, want one per pattern", len(tab.Rows))
+	}
+	cells := map[string]map[string]float64{}
+	for _, row := range tab.Rows {
+		cells[row[0]] = map[string]float64{}
+		for i, policy := range []string{"fifo", "rr", "sjf"} {
+			v, err := strconv.ParseFloat(row[i+1], 64)
+			if err != nil {
+				t.Fatalf("row %v cell %d: %v", row, i+1, err)
+			}
+			if v <= 0 || v > 1 {
+				t.Errorf("%s/%s Jain index %v outside (0,1]", row[0], policy, v)
+			}
+			cells[row[0]][policy] = v
+		}
+	}
+	// The headline qualitative shapes: contention degrades fairness
+	// from balanced to severe for every policy, and under severe skew
+	// SJF's job-size bias costs fairness relative to FIFO.
+	for _, policy := range []string{"fifo", "rr", "sjf"} {
+		if cells["balanced"][policy] <= cells["severe"][policy] {
+			t.Errorf("%s: balanced Jain %v not above severe %v",
+				policy, cells["balanced"][policy], cells["severe"][policy])
+		}
+	}
+	if cells["severe"]["sjf"] >= cells["severe"]["fifo"] {
+		t.Errorf("severe: SJF Jain %v should be below FIFO %v (short-job bias)",
+			cells["severe"]["sjf"], cells["severe"]["fifo"])
+	}
+}
+
+func TestImbalanceShape(t *testing.T) {
+	tab := regenerate(t, "imbalance")
+	if len(tab.Rows) != 16 {
+		t.Fatalf("imbalance has %d rows, want 4 patterns × 4 tenants", len(tab.Rows))
+	}
+	perPattern := map[string][]float64{} // mean slowdown samples
+	jobs := map[string]int{}
+	for _, row := range tab.Rows {
+		pattern := row[0]
+		n, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[pattern] += n
+		slow, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slow < 1 {
+			t.Errorf("%s/%s slowdown %v below 1", pattern, row[1], slow)
+		}
+		perPattern[pattern] = append(perPattern[pattern], slow)
+	}
+	if jobs["balanced"] != 80 || jobs["severe"] != 135 {
+		t.Errorf("job totals %v don't match the pattern weights", jobs)
+	}
+	// Severe imbalance must hurt someone much more than balance hurts
+	// anyone.
+	maxOf := func(xs []float64) float64 {
+		m := xs[0]
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	if maxOf(perPattern["severe"]) <= maxOf(perPattern["balanced"]) {
+		t.Errorf("worst severe slowdown %v not above worst balanced %v",
+			maxOf(perPattern["severe"]), maxOf(perPattern["balanced"]))
+	}
+}
+
+func TestSchedExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"fairness", "imbalance"} {
+		var a, b bytes.Buffer
+		if err := regenerateTo(t, id, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := regenerateTo(t, id, &b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s: repeated regeneration differs", id)
+		}
+	}
+}
+
+func regenerateTo(t *testing.T, id string, buf *bytes.Buffer) error {
+	t.Helper()
+	g, _ := Lookup(id)
+	tab, err := g()
+	if err != nil {
+		return err
+	}
+	return tab.Fprint(buf)
+}

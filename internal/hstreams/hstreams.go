@@ -251,6 +251,14 @@ func (e *Event) resolve(at sim.Time) {
 	}
 }
 
+// OnDone registers fn to run at the event's resolution instant (or
+// immediately when already resolved). Callbacks run in registration
+// order inside the simulation's event dispatch, so they observe the
+// completion time as Context.Now() and may enqueue further work — this
+// is the hook the online scheduler (internal/sched) uses to make
+// dispatch decisions at job-completion instants.
+func (e *Event) OnDone(fn func()) { e.onDone(fn) }
+
 // onDone runs fn immediately if resolved, else at resolution.
 func (e *Event) onDone(fn func()) {
 	if e == nil || e.done {

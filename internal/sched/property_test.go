@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"micstream/internal/sim"
+)
+
+// runScenario executes one (policy, pattern, arrival, seed) scenario
+// on a fresh 4-partition platform and returns the result.
+func runScenario(t *testing.T, policy, pattern, arrival string, seed uint64) *Result {
+	t.Helper()
+	ctx := newCtx(t, 4)
+	jobs, err := BuildScenario(ctx, ScenarioConfig{Pattern: pattern, Arrival: arrival, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ByName(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ctx, WithPolicy(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestWorkConserving asserts the core scheduling invariant for every
+// policy: while any job is waiting in the admission queue, no stream
+// is idle. Reconstructed from outcomes: each job's waiting interval
+// [arrival, start) must be fully covered by the busy intervals of
+// every stream.
+func TestWorkConserving(t *testing.T) {
+	for _, policy := range Policies() {
+		for _, pattern := range Patterns() {
+			r := runScenario(t, policy, pattern, "bursty", 11)
+			assertWorkConserving(t, policy+"/"+pattern, r, 4)
+		}
+	}
+}
+
+// assertWorkConserving checks that every job's waiting interval is
+// covered by busy time on all streams.
+func assertWorkConserving(t *testing.T, label string, r *Result, streams int) {
+	t.Helper()
+	type iv struct{ start, end sim.Time }
+	busy := make([][]iv, streams)
+	for _, o := range r.Jobs {
+		busy[o.Stream] = append(busy[o.Stream], iv{o.Start, o.Done})
+	}
+	for s := range busy {
+		sort.Slice(busy[s], func(i, j int) bool { return busy[s][i].start < busy[s][j].start })
+	}
+	// covered reports whether [from, to) is inside the union of a
+	// stream's busy intervals. Jobs on one stream never overlap, so
+	// the sorted intervals only need a linear sweep.
+	covered := func(s int, from, to sim.Time) bool {
+		at := from
+		for _, i := range busy[s] {
+			if i.start > at {
+				return false
+			}
+			if i.end > at {
+				at = i.end
+			}
+			if at >= to {
+				return true
+			}
+		}
+		return at >= to
+	}
+	violations := 0
+	for _, o := range r.Jobs {
+		if o.Wait() <= 0 {
+			continue
+		}
+		for s := 0; s < streams; s++ {
+			if !covered(s, o.Arrival, o.Start) {
+				violations++
+				if violations <= 3 {
+					t.Errorf("%s: job %d waited [%v,%v) while stream %d was idle",
+						label, o.ID, o.Arrival, o.Start, s)
+				}
+			}
+		}
+	}
+	if violations > 3 {
+		t.Errorf("%s: %d further work-conservation violations suppressed", label, violations-3)
+	}
+}
+
+// TestFIFONoOvertaking asserts FIFO's starvation-freedom: dispatch
+// order equals admission order, so every job's wait is bounded by the
+// service of the finite set of jobs ahead of it.
+func TestFIFONoOvertaking(t *testing.T) {
+	for _, pattern := range Patterns() {
+		r := runScenario(t, "fifo", pattern, "heavytail", 5)
+		jobs := append([]JobOutcome(nil), r.Jobs...)
+		// Admission order: arrival time, ties by submission order.
+		sort.SliceStable(jobs, func(i, j int) bool {
+			if jobs[i].Arrival != jobs[j].Arrival {
+				return jobs[i].Arrival < jobs[j].Arrival
+			}
+			return jobs[i].Index < jobs[j].Index
+		})
+		for i := 1; i < len(jobs); i++ {
+			if jobs[i].Start < jobs[i-1].Start {
+				t.Fatalf("%s: FIFO overtaking: job %d (arrived %v) started %v before job %d (arrived %v) started %v",
+					pattern, jobs[i].ID, jobs[i].Arrival, jobs[i].Start,
+					jobs[i-1].ID, jobs[i-1].Arrival, jobs[i-1].Start)
+			}
+		}
+	}
+}
+
+// TestFIFOBoundedWait asserts a concrete starvation bound: under FIFO
+// a job's wait never exceeds the summed service of all jobs admitted
+// before it (the worst case is draining the entire backlog through
+// one stream).
+func TestFIFOBoundedWait(t *testing.T) {
+	r := runScenario(t, "fifo", "severe", "bursty", 23)
+	jobs := append([]JobOutcome(nil), r.Jobs...)
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].Arrival != jobs[j].Arrival {
+			return jobs[i].Arrival < jobs[j].Arrival
+		}
+		return jobs[i].Index < jobs[j].Index
+	})
+	var backlog sim.Duration
+	for _, o := range jobs {
+		if o.Wait() > backlog {
+			t.Fatalf("job %d waited %v, more than the %v of service admitted before it",
+				o.ID, o.Wait(), backlog)
+		}
+		backlog += o.Service()
+	}
+}
+
+// TestBitIdenticalRepeats asserts the determinism contract: the same
+// (policy, pattern, arrival, seed) tuple produces byte-for-byte
+// identical results on every run, including every per-job timestamp.
+func TestBitIdenticalRepeats(t *testing.T) {
+	for _, policy := range Policies() {
+		for _, arrival := range []string{"poisson", "bursty", "heavytail"} {
+			a := runScenario(t, policy, "moderate", arrival, 99)
+			b := runScenario(t, policy, "moderate", arrival, 99)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s/%s: repeated runs differ", policy, arrival)
+			}
+			c := runScenario(t, policy, "moderate", arrival, 100)
+			if reflect.DeepEqual(a, c) {
+				t.Fatalf("%s/%s: different seeds produced identical schedules", policy, arrival)
+			}
+		}
+	}
+}
+
+// TestEveryJobRunsExactlyOnce asserts completeness: every submitted
+// job appears in the outcome list with a valid lifecycle under every
+// policy.
+func TestEveryJobRunsExactlyOnce(t *testing.T) {
+	for _, policy := range Policies() {
+		r := runScenario(t, policy, "severe", "poisson", 42)
+		seen := map[int]bool{}
+		for _, o := range r.Jobs {
+			if seen[o.Index] {
+				t.Fatalf("%s: job index %d appears twice", policy, o.Index)
+			}
+			seen[o.Index] = true
+			if o.Done < o.Start || o.Start < o.Arrival {
+				t.Fatalf("%s: job %d has inverted lifecycle %v/%v/%v",
+					policy, o.ID, o.Arrival, o.Start, o.Done)
+			}
+		}
+		if len(seen) != 135 {
+			t.Fatalf("%s: %d unique jobs completed, want 135", policy, len(seen))
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"micstream/internal/core"
+	"micstream/internal/device"
+	"micstream/internal/hstreams"
+	"micstream/internal/sim"
+	"micstream/internal/workload"
+)
+
+// Load-imbalance patterns: per-tenant offered load expressed as job
+// counts, following the four-way taxonomy used by the streaming
+// follow-up studies (balanced through severe skew). Tenant D offers
+// 16× tenant A's load under "severe".
+var patternWeights = map[string][]int{
+	"balanced": {20, 20, 20, 20},
+	"mild":     {10, 20, 30, 40},
+	"moderate": {5, 15, 30, 50},
+	"severe":   {5, 10, 40, 80},
+}
+
+// Patterns lists the built-in load-imbalance pattern names in stable
+// order.
+func Patterns() []string {
+	names := make([]string, 0, len(patternWeights))
+	for name := range patternWeights {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PatternWeights returns the per-tenant job-count weights of a
+// built-in pattern.
+func PatternWeights(name string) ([]int, error) {
+	w, ok := patternWeights[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown pattern %q (have %v)", name, Patterns())
+	}
+	return append([]int(nil), w...), nil
+}
+
+// ScenarioConfig parameterizes a synthetic multi-tenant scenario:
+// four tenants (A-D) submitting identical offload jobs at rates set by
+// a load-imbalance pattern, with arrivals drawn from a deterministic
+// arrival process over a fixed window.
+type ScenarioConfig struct {
+	// Pattern is the load-imbalance pattern name (default "balanced").
+	Pattern string
+	// Arrival is the arrival process: "poisson", "bursty" or
+	// "heavytail" (default "poisson").
+	Arrival string
+	// Seed drives every random draw (default 1).
+	Seed uint64
+	// JobScale multiplies the pattern's per-tenant job counts
+	// (default 1).
+	JobScale int
+	// WindowNs is the arrival window; tenant rates are weight/window
+	// (default 40 ms).
+	WindowNs int64
+	// TilesPerJob is how many H2D+kernel+D2H tasks one job carries
+	// (default 2).
+	TilesPerJob int
+	// KernelFlops is the total useful work of one job (default 2e8 —
+	// about a millisecond on a quarter-device partition).
+	KernelFlops float64
+	// XferBytes is the total per-direction transfer volume of one job
+	// (default 1 MiB).
+	XferBytes int64
+	// SizeSpread makes job sizes heterogeneous: each job's kernel
+	// work is KernelFlops scaled by SizeSpread^u for u uniform in
+	// [-1, 1], so jobs span a SizeSpread² range with geometric mean
+	// KernelFlops. 0 defaults to 4 (a 16× light-to-heavy range, the
+	// mix that separates cost-aware from arrival-order policies); 1
+	// makes every job identical.
+	SizeSpread float64
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Pattern == "" {
+		c.Pattern = "balanced"
+	}
+	if c.Arrival == "" {
+		c.Arrival = "poisson"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.JobScale == 0 {
+		c.JobScale = 1
+	}
+	if c.WindowNs == 0 {
+		c.WindowNs = 40_000_000
+	}
+	if c.TilesPerJob == 0 {
+		c.TilesPerJob = 2
+	}
+	if c.KernelFlops == 0 {
+		c.KernelFlops = 2e8
+	}
+	if c.XferBytes == 0 {
+		c.XferBytes = 1 << 20
+	}
+	if c.SizeSpread == 0 {
+		c.SizeSpread = 4
+	}
+	return c
+}
+
+// TenantNames returns the scenario's tenant labels ("A".."D").
+func TenantNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	return names
+}
+
+// BuildScenario allocates the scenario's shared virtual buffers on ctx
+// and returns the full job list in tenant-major order, ready for
+// Scheduler.Run. Everything is a pure function of the configuration,
+// so the same config always produces the same jobs.
+func BuildScenario(ctx *hstreams.Context, cfg ScenarioConfig) ([]Job, error) {
+	cfg = cfg.withDefaults()
+	weights, err := PatternWeights(cfg.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.JobScale < 0 || cfg.WindowNs <= 0 || cfg.TilesPerJob < 1 || cfg.SizeSpread < 1 ||
+		cfg.KernelFlops < 0 || cfg.XferBytes < 0 {
+		return nil, fmt.Errorf("sched: invalid scenario config %+v", cfg)
+	}
+
+	tileBytes := int(cfg.XferBytes) / cfg.TilesPerJob
+	if tileBytes < 1 {
+		tileBytes = 1
+	}
+	// A functional context moves real data on every transfer, so its
+	// buffers need real backing; timing-only contexts use data-less
+	// virtual buffers.
+	var in, out *hstreams.Buffer
+	if ctx.Config().ExecuteKernels {
+		in = hstreams.Alloc1D(ctx, "scenario/in", make([]byte, tileBytes))
+		out = hstreams.Alloc1D(ctx, "scenario/out", make([]byte, tileBytes))
+	} else {
+		in = hstreams.AllocVirtual(ctx, "scenario/in", tileBytes, 1)
+		out = hstreams.AllocVirtual(ctx, "scenario/out", tileBytes, 1)
+	}
+	tileFlops := cfg.KernelFlops / float64(cfg.TilesPerJob)
+
+	// One seed per tenant, drawn from the scenario seed so tenants
+	// have independent but reproducible arrival streams.
+	seeder := workload.NewRNG(cfg.Seed)
+	tenants := TenantNames(len(weights))
+
+	var jobs []Job
+	id := 0
+	for ti, tenant := range tenants {
+		count := weights[ti] * cfg.JobScale
+		tseed := seeder.Uint64()
+		sizes := workload.NewRNG(seeder.Uint64())
+		arrivals, err := buildArrivals(cfg.Arrival, tseed, count, float64(cfg.WindowNs)/float64(max(count, 1)))
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < count; j++ {
+			factor := math.Pow(cfg.SizeSpread, 2*sizes.Float64()-1)
+			tasks := make([]*core.Task, cfg.TilesPerJob)
+			for k := range tasks {
+				tasks[k] = &core.Task{
+					ID: k,
+					H2D: []core.TransferSpec{
+						core.Xfer(in, 0, tileBytes),
+					},
+					Cost: device.KernelCost{
+						Name:  fmt.Sprintf("%s/job%d", tenant, id),
+						Flops: tileFlops * factor,
+						Bytes: float64(tileBytes) * 2,
+					},
+					D2H: []core.TransferSpec{
+						core.Xfer(out, 0, tileBytes),
+					},
+					StreamHint: -1,
+				}
+			}
+			jobs = append(jobs, Job{
+				ID:      id,
+				Tenant:  tenant,
+				Arrival: sim.Time(arrivals[j]),
+				Tasks:   tasks,
+			})
+			id++
+		}
+	}
+	return jobs, nil
+}
+
+// buildArrivals dispatches to the named workload arrival generator
+// with a mean inter-arrival gap.
+func buildArrivals(kind string, seed uint64, n int, meanGapNs float64) ([]int64, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	switch kind {
+	case "poisson":
+		return workload.PoissonArrivals(seed, n, meanGapNs)
+	case "bursty":
+		// Bursts of 4 with tight intra-burst spacing; the silence
+		// between bursts restores the configured average rate.
+		within := meanGapNs / 10
+		between := 4*meanGapNs - 3*within
+		return workload.BurstyArrivals(seed, n, 4, within, between)
+	case "heavytail":
+		// Pareto(min, 1.5) has mean 3·min, so min = mean/3.
+		return workload.HeavyTailArrivals(seed, n, meanGapNs/3, 1.5)
+	default:
+		return nil, fmt.Errorf("sched: unknown arrival process %q (have poisson, bursty, heavytail)", kind)
+	}
+}

@@ -1,0 +1,474 @@
+// Package sched is the online multi-tenant job scheduler: it admits a
+// stream of offload jobs — each a []*core.Task workload tagged with a
+// tenant and a virtual arrival time — onto the simulated platform,
+// instead of the single-phase core.Run the paper's experiments use.
+//
+// The scheduler is built directly on the discrete-event engine:
+// arrivals are engine events, dispatch decisions happen at exactly two
+// kinds of instants (a job arriving, a stream draining), and a
+// pluggable Policy chooses which queued job runs next and on which
+// idle stream. Because every decision point is an engine event and
+// every queue is ordered by (time, admission sequence), a run is
+// bit-identical across repeats, machines, and Go versions — the same
+// determinism contract as the rest of the repository (DESIGN.md §6).
+//
+// The dispatch loop is structurally work-conserving: whenever the
+// admission queue is non-empty and a stream is idle, a job is
+// dispatched before virtual time can advance. Policies only choose
+// *which* job and *which* stream; they cannot choose to idle.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"micstream/internal/core"
+	"micstream/internal/hstreams"
+	"micstream/internal/sim"
+	"micstream/internal/stats"
+)
+
+// Job is one unit of admission: a tenant-tagged task list that becomes
+// runnable at Arrival. The scheduler treats the task list as an opaque
+// workload — tasks keep their intra-job dependencies — and pins every
+// task to the stream the policy selects, so one job occupies exactly
+// one stream from dispatch to completion.
+type Job struct {
+	// ID labels the job in results; it need not be unique (the
+	// scheduler identifies jobs by submission order).
+	ID int
+	// Tenant attributes the job for per-tenant accounting. Empty means
+	// "default".
+	Tenant string
+	// Arrival is the virtual time the job becomes runnable.
+	Arrival sim.Time
+	// Tasks is the job's workload. StreamHint values are overridden by
+	// the scheduler's placement decision.
+	Tasks []*core.Task
+	// Est optionally declares the job's service-time estimate used by
+	// cost-aware policies; 0 means the scheduler derives one from the
+	// tasks' kernel costs and transfer sizes.
+	Est sim.Duration
+}
+
+// Pending is a queued job together with the bookkeeping policies see.
+type Pending struct {
+	// Job is the queued job.
+	Job *Job
+	// Est is the service-time estimate (declared or derived).
+	Est sim.Duration
+	// Seq is the admission sequence number; FIFO order is ascending
+	// Seq.
+	Seq int
+
+	// idx is the job's outcome slot (its position in the Run slice).
+	idx int
+}
+
+// View is the platform snapshot handed to a policy at a decision
+// point.
+type View struct {
+	// Now is the current virtual time.
+	Now sim.Time
+	// StreamLoad is the cumulative estimated service each stream has
+	// been handed so far — the least-loaded signal.
+	StreamLoad []sim.Duration
+	// StreamPartition maps each stream to its global partition index
+	// (device-major): streams sharing a partition contend for its
+	// cores, which is what partition-aware placement avoids.
+	StreamPartition []int
+	// Partitions is the global partition count across devices.
+	Partitions int
+}
+
+// Policy chooses, at each dispatch opportunity, which pending job runs
+// next and on which idle stream. pending and idle are non-empty;
+// pending is in admission order. Implementations may keep per-run
+// state (e.g. a round-robin cursor) and must be deterministic
+// functions of their inputs and that state.
+type Policy interface {
+	// Name identifies the policy in results and CLIs.
+	Name() string
+	// Pick returns an index into pending and a member of idle.
+	Pick(pending []*Pending, idle []int, v *View) (pendIdx, stream int)
+}
+
+// Option configures a Scheduler.
+type Option func(*Scheduler)
+
+// WithPolicy selects the scheduling policy (default FIFO). The policy
+// instance must not be shared with another live scheduler.
+func WithPolicy(p Policy) Option {
+	return func(s *Scheduler) { s.policy = p }
+}
+
+// Scheduler runs admission and dispatch over one hstreams context. A
+// scheduler may execute several Run calls sequentially; each call
+// drains completely before returning.
+type Scheduler struct {
+	ctx    *hstreams.Context
+	policy Policy
+
+	// streamPart maps stream index → global partition index; fixed by
+	// the platform topology.
+	streamPart []int
+	nparts     int
+
+	// Per-run state, reset by Run.
+	pending  []*Pending
+	busy     []bool
+	load     []sim.Duration
+	outcomes []JobOutcome
+	done     int
+	seq      int
+	runErr   error
+}
+
+// New builds a scheduler over ctx.
+func New(ctx *hstreams.Context, opts ...Option) (*Scheduler, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("sched: nil context")
+	}
+	s := &Scheduler{ctx: ctx, policy: FIFO()}
+	cfg := ctx.Config()
+	s.nparts = cfg.Devices * cfg.Partitions
+	s.streamPart = make([]int, ctx.NumStreams())
+	for i := range s.streamPart {
+		st := ctx.Stream(i)
+		s.streamPart[i] = st.DeviceIndex()*cfg.Partitions + st.Partition().Index()
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.policy == nil {
+		return nil, fmt.Errorf("sched: nil policy")
+	}
+	return s, nil
+}
+
+// Policy returns the scheduler's policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Context returns the underlying platform context.
+func (s *Scheduler) Context() *hstreams.Context { return s.ctx }
+
+// Run admits every job at its arrival time, dispatches them under the
+// configured policy until all complete, and returns the per-job and
+// per-tenant accounting. Arrival times earlier than the context's
+// current virtual time are clamped to it (a job cannot arrive in the
+// past of a composed run).
+func (s *Scheduler) Run(jobs []Job) (*Result, error) {
+	for i := range jobs {
+		if len(jobs[i].Tasks) == 0 {
+			return nil, fmt.Errorf("sched: job %d (tenant %q) has no tasks", jobs[i].ID, jobs[i].Tenant)
+		}
+		for k, task := range jobs[i].Tasks {
+			if task == nil {
+				return nil, fmt.Errorf("sched: job %d (tenant %q) has nil task %d", jobs[i].ID, jobs[i].Tenant, k)
+			}
+		}
+		if jobs[i].Arrival < 0 {
+			return nil, fmt.Errorf("sched: job %d has negative arrival %v", jobs[i].ID, jobs[i].Arrival)
+		}
+	}
+	n := s.ctx.NumStreams()
+	if r, ok := s.policy.(resetter); ok {
+		r.reset()
+	}
+	s.pending = nil
+	s.busy = make([]bool, n)
+	s.load = make([]sim.Duration, n)
+	s.outcomes = make([]JobOutcome, len(jobs))
+	s.done = 0
+	s.seq = 0
+	s.runErr = nil
+
+	eng := s.ctx.Engine()
+	runStart := eng.Now()
+	for i := range jobs {
+		job := &jobs[i]
+		idx := i
+		at := job.Arrival
+		if at < runStart {
+			at = runStart
+		}
+		eng.At(at, func() { s.admit(job, idx) })
+	}
+	eng.Run()
+	if s.runErr != nil {
+		return nil, s.runErr
+	}
+	if s.done != len(jobs) {
+		return nil, fmt.Errorf("sched: internal error: %d of %d jobs completed", s.done, len(jobs))
+	}
+	return s.summarize(runStart), nil
+}
+
+// admit enqueues one arriving job and runs the dispatch loop.
+func (s *Scheduler) admit(job *Job, idx int) {
+	if s.runErr != nil {
+		return
+	}
+	est := job.Est
+	if est <= 0 {
+		est = s.estimate(job)
+	}
+	s.outcomes[idx] = JobOutcome{
+		Index:   idx,
+		ID:      job.ID,
+		Tenant:  tenantOf(job),
+		Arrival: s.ctx.Now(),
+		Est:     est,
+		Stream:  -1,
+	}
+	s.pending = append(s.pending, &Pending{Job: job, Est: est, Seq: s.seq, idx: idx})
+	s.seq++
+	s.dispatch()
+}
+
+// dispatch drains the admission queue onto idle streams. It runs until
+// either the queue or the idle set is empty — the work-conservation
+// invariant.
+func (s *Scheduler) dispatch() {
+	for len(s.pending) > 0 && s.runErr == nil {
+		idle := s.idleStreams()
+		if len(idle) == 0 {
+			return
+		}
+		// Both slices are defensive copies: Policy is an exported
+		// interface, and a mutating implementation must not corrupt
+		// the scheduler's state.
+		v := &View{
+			Now:             s.ctx.Now(),
+			StreamLoad:      append([]sim.Duration(nil), s.load...),
+			StreamPartition: append([]int(nil), s.streamPart...),
+			Partitions:      s.nparts,
+		}
+		pi, stream := s.policy.Pick(s.pending, idle, v)
+		if pi < 0 || pi >= len(s.pending) {
+			s.runErr = fmt.Errorf("sched: policy %s picked job index %d out of range [0,%d)", s.policy.Name(), pi, len(s.pending))
+			return
+		}
+		if stream < 0 || stream >= len(s.busy) || s.busy[stream] {
+			s.runErr = fmt.Errorf("sched: policy %s picked stream %d which is not idle", s.policy.Name(), stream)
+			return
+		}
+		p := s.pending[pi]
+		s.pending = append(s.pending[:pi], s.pending[pi+1:]...)
+		s.start(p, stream)
+	}
+}
+
+// start pins the job's tasks to the chosen stream, enqueues them, and
+// registers the completion hook that frees the stream and re-enters
+// the dispatch loop.
+func (s *Scheduler) start(p *Pending, stream int) {
+	idx := p.idx
+	s.busy[stream] = true
+	s.load[stream] += p.Est
+	s.outcomes[idx].Stream = stream
+	s.outcomes[idx].Start = s.ctx.Now()
+
+	tasks := make([]*core.Task, len(p.Job.Tasks))
+	for i, t := range p.Job.Tasks {
+		c := *t
+		c.StreamHint = stream
+		tasks[i] = &c
+	}
+	ev, err := core.EnqueuePhase(s.ctx, tasks)
+	if err != nil {
+		s.runErr = fmt.Errorf("sched: job %d: %w", p.Job.ID, err)
+		return
+	}
+	// Every action of the job sits on one FIFO stream, so the last
+	// task's final event is the last to resolve.
+	final := ev.Done[tasks[len(tasks)-1].ID]
+	final.OnDone(func() {
+		s.outcomes[idx].Done = s.ctx.Now()
+		s.done++
+		s.busy[stream] = false
+		s.dispatch()
+	})
+}
+
+// idleStreams lists streams with no job in flight, ascending.
+func (s *Scheduler) idleStreams() []int {
+	var idle []int
+	for i, b := range s.busy {
+		if !b {
+			idle = append(idle, i)
+		}
+	}
+	return idle
+}
+
+// estimate derives a service-time estimate for a job: per task, the
+// kernel's duration on stream 0's partition plus the PCIe time of its
+// declared transfers. It ignores queueing and overlap — it is a
+// ranking signal for cost-aware policies, not a prediction.
+func (s *Scheduler) estimate(job *Job) sim.Duration {
+	part := s.ctx.Stream(0).Partition()
+	link := s.ctx.Config().Link
+	var total sim.Duration
+	for _, t := range job.Tasks {
+		if !t.TransferOnly {
+			total += part.KernelTime(t.Cost)
+		}
+		for _, specs := range [][]core.TransferSpec{t.H2D, t.D2H} {
+			for _, x := range specs {
+				if x.Buf == nil || x.Buf.Len() == 0 {
+					continue
+				}
+				bytes := float64(x.N) * float64(x.Buf.Bytes()) / float64(x.Buf.Len())
+				total += sim.Duration(link.LatencyNs) + sim.DurationOf(bytes/link.BandwidthBps)
+			}
+		}
+	}
+	if total <= 0 {
+		total = 1
+	}
+	return total
+}
+
+// JobOutcome records one completed job.
+type JobOutcome struct {
+	// Index is the job's position in the Run slice.
+	Index int
+	// ID and Tenant echo the job's labels.
+	ID     int
+	Tenant string
+	// Stream is where the job ran.
+	Stream int
+	// Arrival, Start and Done are the job's lifecycle instants:
+	// admission, dispatch, and completion of its last action.
+	Arrival, Start, Done sim.Time
+	// Est is the service estimate the policies saw.
+	Est sim.Duration
+}
+
+// Wait is the queueing delay (dispatch minus arrival).
+func (o JobOutcome) Wait() sim.Duration { return o.Start.Sub(o.Arrival) }
+
+// Latency is the response time (completion minus arrival).
+func (o JobOutcome) Latency() sim.Duration { return o.Done.Sub(o.Arrival) }
+
+// Service is the occupancy (completion minus dispatch).
+func (o JobOutcome) Service() sim.Duration { return o.Done.Sub(o.Start) }
+
+// Slowdown is latency over service: 1 means the job never queued.
+func (o JobOutcome) Slowdown() float64 {
+	sv := o.Service().Seconds()
+	if sv <= 0 {
+		return 1
+	}
+	return o.Latency().Seconds() / sv
+}
+
+// TenantStats aggregates the jobs of one tenant.
+type TenantStats struct {
+	// Tenant is the tenant label.
+	Tenant string
+	// Jobs is the completed-job count.
+	Jobs int
+	// Throughput is completed jobs per second of the run's makespan.
+	Throughput float64
+	// MeanLatency and the percentiles summarize response times.
+	MeanLatency, P50, P95, P99 sim.Duration
+	// MeanSlowdown is the mean latency/service ratio: the tenant's
+	// service-quality degradation under contention.
+	MeanSlowdown float64
+}
+
+// Result summarizes one Run.
+type Result struct {
+	// Policy names the policy that produced the schedule.
+	Policy string
+	// Jobs lists every outcome in submission order.
+	Jobs []JobOutcome
+	// Tenants lists per-tenant aggregates sorted by tenant label.
+	Tenants []TenantStats
+	// Makespan is the span from the run's start to the last
+	// completion.
+	Makespan sim.Duration
+	// JainSlowdown is Jain's fairness index over per-tenant mean
+	// slowdowns: 1 when every tenant suffers equal queueing
+	// degradation.
+	JainSlowdown float64
+	// JainThroughput is Jain's index over per-tenant throughputs.
+	// In this run-to-completion model every submitted job finishes
+	// and every tenant shares the makespan denominator, so this
+	// reduces to the Jain index of the *offered* per-tenant job
+	// counts — it quantifies how imbalanced the load was, not how
+	// fairly the policy scheduled it (that is JainSlowdown).
+	JainThroughput float64
+}
+
+// Tenant returns the aggregate for one tenant, or nil.
+func (r *Result) Tenant(name string) *TenantStats {
+	for i := range r.Tenants {
+		if r.Tenants[i].Tenant == name {
+			return &r.Tenants[i]
+		}
+	}
+	return nil
+}
+
+// summarize assembles the Result from the recorded outcomes.
+func (s *Scheduler) summarize(runStart sim.Time) *Result {
+	r := &Result{Policy: s.policy.Name(), Jobs: s.outcomes}
+	end := runStart
+	perTenant := map[string][]JobOutcome{}
+	for _, o := range s.outcomes {
+		if o.Done > end {
+			end = o.Done
+		}
+		perTenant[o.Tenant] = append(perTenant[o.Tenant], o)
+	}
+	r.Makespan = end.Sub(runStart)
+	span := r.Makespan.Seconds()
+
+	names := make([]string, 0, len(perTenant))
+	for name := range perTenant {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var slowdowns, throughputs []float64
+	for _, name := range names {
+		jobs := perTenant[name]
+		lats := make([]float64, len(jobs))
+		slow := 0.0
+		for i, o := range jobs {
+			lats[i] = float64(o.Latency())
+			slow += o.Slowdown()
+		}
+		p50, p95, p99 := stats.Percentiles(lats)
+		ts := TenantStats{
+			Tenant:       name,
+			Jobs:         len(jobs),
+			MeanLatency:  sim.Duration(stats.Mean(lats)),
+			P50:          sim.Duration(p50),
+			P95:          sim.Duration(p95),
+			P99:          sim.Duration(p99),
+			MeanSlowdown: slow / float64(len(jobs)),
+		}
+		if span > 0 {
+			ts.Throughput = float64(len(jobs)) / span
+		}
+		r.Tenants = append(r.Tenants, ts)
+		slowdowns = append(slowdowns, ts.MeanSlowdown)
+		throughputs = append(throughputs, ts.Throughput)
+	}
+	r.JainSlowdown = stats.JainIndex(slowdowns)
+	r.JainThroughput = stats.JainIndex(throughputs)
+	return r
+}
+
+// tenantOf returns the job's tenant label, defaulting empty to
+// "default".
+func tenantOf(j *Job) string {
+	if j.Tenant == "" {
+		return "default"
+	}
+	return j.Tenant
+}

@@ -1,0 +1,395 @@
+package sched
+
+import (
+	"testing"
+
+	"micstream/internal/core"
+	"micstream/internal/device"
+	"micstream/internal/hstreams"
+	"micstream/internal/sim"
+)
+
+// newCtx builds a timing-only platform with the given partition count
+// (one stream per partition).
+func newCtx(t *testing.T, partitions int) *hstreams.Context {
+	t.Helper()
+	ctx, err := hstreams.Init(hstreams.Config{Partitions: partitions, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// syntheticJob builds a one-task compute job with the given flops.
+func syntheticJob(id int, tenant string, arrival sim.Time, flops float64) Job {
+	return Job{
+		ID:      id,
+		Tenant:  tenant,
+		Arrival: arrival,
+		Tasks: []*core.Task{{
+			ID:         0,
+			Cost:       device.KernelCost{Name: "synthetic", Flops: flops},
+			StreamHint: -1,
+		}},
+	}
+}
+
+func TestSchedulerBasics(t *testing.T) {
+	ctx := newCtx(t, 4)
+	s, err := New(ctx, WithPolicy(FIFO()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, syntheticJob(i, string(rune('A'+i%3)), sim.Time(i)*sim.Time(sim.Millisecond)/4, 5e8))
+	}
+	r, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Jobs) != len(jobs) {
+		t.Fatalf("got %d outcomes, want %d", len(r.Jobs), len(jobs))
+	}
+	for _, o := range r.Jobs {
+		if o.Stream < 0 || o.Stream >= ctx.NumStreams() {
+			t.Errorf("job %d ran on invalid stream %d", o.ID, o.Stream)
+		}
+		if o.Start < o.Arrival {
+			t.Errorf("job %d started %v before its arrival %v", o.ID, o.Start, o.Arrival)
+		}
+		if o.Done <= o.Start {
+			t.Errorf("job %d completed %v not after its start %v", o.ID, o.Done, o.Start)
+		}
+		if o.Slowdown() < 1 {
+			t.Errorf("job %d slowdown %v < 1", o.ID, o.Slowdown())
+		}
+	}
+	if len(r.Tenants) != 3 {
+		t.Fatalf("got %d tenants, want 3", len(r.Tenants))
+	}
+	total := 0
+	for _, ts := range r.Tenants {
+		total += ts.Jobs
+		if ts.P50 > ts.P95 || ts.P95 > ts.P99 {
+			t.Errorf("tenant %s percentiles not ordered: %v %v %v", ts.Tenant, ts.P50, ts.P95, ts.P99)
+		}
+		if ts.Throughput <= 0 {
+			t.Errorf("tenant %s throughput %v not positive", ts.Tenant, ts.Throughput)
+		}
+	}
+	if total != len(jobs) {
+		t.Errorf("tenant job counts sum to %d, want %d", total, len(jobs))
+	}
+	if r.Makespan <= 0 {
+		t.Error("makespan should be positive")
+	}
+	if r.JainSlowdown <= 0 || r.JainSlowdown > 1+1e-12 {
+		t.Errorf("Jain slowdown index %v out of (0,1]", r.JainSlowdown)
+	}
+	if r.Tenant("A") == nil || r.Tenant("nope") != nil {
+		t.Error("Tenant lookup misbehaves")
+	}
+}
+
+func TestSJFOrdersShortFirst(t *testing.T) {
+	ctx := newCtx(t, 1)
+	s, err := New(ctx, WithPolicy(SJF()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A blocker occupies the single stream; a long and a short job
+	// arrive while it runs. SJF must run the short one first even
+	// though the long one arrived earlier.
+	jobs := []Job{
+		syntheticJob(0, "blocker", 0, 1e9),
+		syntheticJob(1, "long", sim.Time(sim.Microsecond), 8e8),
+		syntheticJob(2, "short", 2*sim.Time(sim.Microsecond), 1e8),
+	}
+	r, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.Jobs[2].Start < r.Jobs[1].Start) {
+		t.Fatalf("SJF should start the short job (at %v) before the long one (at %v)",
+			r.Jobs[2].Start, r.Jobs[1].Start)
+	}
+	// FIFO on the same workload must preserve arrival order.
+	ctx2 := newCtx(t, 1)
+	s2, _ := New(ctx2, WithPolicy(FIFO()))
+	r2, err := s2.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r2.Jobs[1].Start < r2.Jobs[2].Start) {
+		t.Fatal("FIFO should preserve arrival order")
+	}
+}
+
+func TestRoundRobinRotatesPlacement(t *testing.T) {
+	ctx := newCtx(t, 4)
+	s, err := New(ctx, WithPolicy(RoundRobin()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs spaced far apart: every dispatch sees all four streams
+	// idle, so placement is purely the cursor's choice.
+	var jobs []Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, syntheticJob(i, "t", sim.Time(i)*sim.Time(100*sim.Millisecond), 1e8))
+	}
+	r, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range r.Jobs {
+		if o.Stream != i%4 {
+			t.Errorf("job %d placed on stream %d, want %d", i, o.Stream, i%4)
+		}
+	}
+}
+
+func TestFIFOPacksLowestStream(t *testing.T) {
+	ctx := newCtx(t, 4)
+	s, _ := New(ctx, WithPolicy(FIFO()))
+	var jobs []Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, syntheticJob(i, "t", sim.Time(i)*sim.Time(100*sim.Millisecond), 1e8))
+	}
+	r, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range r.Jobs {
+		if o.Stream != 0 {
+			t.Errorf("job %d placed on stream %d; FIFO packs idle stream 0", i, o.Stream)
+		}
+	}
+}
+
+func TestSequentialRunsCompose(t *testing.T) {
+	ctx := newCtx(t, 2)
+	s, _ := New(ctx, WithPolicy(FIFO()))
+	r1, err := s.Run([]Job{syntheticJob(0, "a", 0, 1e8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run: arrivals before ctx.Now() clamp to it.
+	r2, err := s.Run([]Job{syntheticJob(1, "a", 0, 1e8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Jobs[0].Arrival < r1.Jobs[0].Done {
+		t.Fatalf("second run admitted at %v, before first run finished at %v",
+			r2.Jobs[0].Arrival, r1.Jobs[0].Done)
+	}
+}
+
+func TestSchedulerErrors(t *testing.T) {
+	ctx := newCtx(t, 1)
+	if _, err := New(nil); err == nil {
+		t.Error("nil context should error")
+	}
+	if _, err := New(ctx, WithPolicy(nil)); err == nil {
+		t.Error("nil policy should error")
+	}
+	s, _ := New(ctx)
+	if _, err := s.Run([]Job{{ID: 0, Tenant: "x"}}); err == nil {
+		t.Error("job without tasks should error")
+	}
+	if _, err := s.Run([]Job{syntheticJob(0, "x", -5, 1e6)}); err == nil {
+		t.Error("negative arrival should error")
+	}
+	if _, err := ByName("lifo"); err == nil {
+		t.Error("unknown policy name should error")
+	}
+	for _, name := range Policies() {
+		p, err := ByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, p, err)
+		}
+	}
+}
+
+func TestBuildScenario(t *testing.T) {
+	ctx := newCtx(t, 4)
+	jobs, err := BuildScenario(ctx, ScenarioConfig{Pattern: "severe", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 5+10+40+80 {
+		t.Fatalf("severe scenario has %d jobs, want 135", len(jobs))
+	}
+	counts := map[string]int{}
+	for _, j := range jobs {
+		counts[j.Tenant]++
+		if len(j.Tasks) != 2 {
+			t.Fatalf("job %d has %d tasks, want default 2", j.ID, len(j.Tasks))
+		}
+		if j.Arrival < 0 {
+			t.Fatalf("job %d has negative arrival", j.ID)
+		}
+	}
+	want := map[string]int{"A": 5, "B": 10, "C": 40, "D": 80}
+	for tenant, n := range want {
+		if counts[tenant] != n {
+			t.Errorf("tenant %s has %d jobs, want %d", tenant, counts[tenant], n)
+		}
+	}
+	if _, err := BuildScenario(ctx, ScenarioConfig{Pattern: "catastrophic"}); err == nil {
+		t.Error("unknown pattern should error")
+	}
+	if _, err := BuildScenario(ctx, ScenarioConfig{Arrival: "uniform"}); err == nil {
+		t.Error("unknown arrival process should error")
+	}
+}
+
+func TestScenarioEndToEnd(t *testing.T) {
+	for _, arrival := range []string{"poisson", "bursty", "heavytail"} {
+		ctx := newCtx(t, 4)
+		jobs, err := BuildScenario(ctx, ScenarioConfig{Pattern: "moderate", Arrival: arrival, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := New(ctx, WithPolicy(SJF()))
+		r, err := s.Run(jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", arrival, err)
+		}
+		if len(r.Jobs) != len(jobs) || r.Makespan <= 0 {
+			t.Fatalf("%s: incomplete run", arrival)
+		}
+	}
+}
+
+func TestRoundRobinResetsBetweenRuns(t *testing.T) {
+	// Sequential runs on one scheduler must place like fresh runs:
+	// the RR cursor is per-run state.
+	batch := func() []Job {
+		return []Job{
+			syntheticJob(0, "t", 0, 1e8),
+			syntheticJob(1, "t", sim.Time(100*sim.Millisecond), 1e8),
+			syntheticJob(2, "t", sim.Time(200*sim.Millisecond), 1e8),
+		}
+	}
+	ctx := newCtx(t, 4)
+	s, _ := New(ctx, WithPolicy(RoundRobin()))
+	r1, err := s.Run(batch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(batch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Jobs {
+		if r1.Jobs[i].Stream != r2.Jobs[i].Stream {
+			t.Fatalf("job %d placed on stream %d in run 1 but %d in run 2; RR cursor not reset",
+				i, r1.Jobs[i].Stream, r2.Jobs[i].Stream)
+		}
+	}
+}
+
+func TestScenarioRejectsNegativeSizes(t *testing.T) {
+	ctx := newCtx(t, 2)
+	if _, err := BuildScenario(ctx, ScenarioConfig{KernelFlops: -2e8}); err == nil {
+		t.Error("negative KernelFlops should error")
+	}
+	if _, err := BuildScenario(ctx, ScenarioConfig{XferBytes: -1}); err == nil {
+		t.Error("negative XferBytes should error")
+	}
+}
+
+func TestRoundRobinRotatesOverPartitions(t *testing.T) {
+	// 2 partitions × 2 streams: streams 0,1 share partition 0 and
+	// streams 2,3 share partition 1. RR must alternate partitions —
+	// 0,2,1,3 — not walk stream ids 0,1,2,3, which would co-schedule
+	// consecutive jobs on a shared place while the other place idles.
+	ctx, err := hstreams.Init(hstreams.Config{Partitions: 2, StreamsPerPartition: 2, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := New(ctx, WithPolicy(RoundRobin()))
+	var jobs []Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, syntheticJob(i, "t", sim.Time(i)*sim.Time(100*sim.Millisecond), 1e8))
+	}
+	r, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Which stream of a partition's pair is irrelevant (they contend
+	// for the same place); the property is that consecutive jobs land
+	// on alternating partitions.
+	for i, o := range r.Jobs {
+		part := o.Stream / 2
+		if part != i%2 {
+			t.Errorf("job %d placed on stream %d (partition %d), want partition %d",
+				i, o.Stream, part, i%2)
+		}
+	}
+}
+
+func TestScenarioOnFunctionalContext(t *testing.T) {
+	// A functional context moves real data; scenario buffers must
+	// have real backing instead of panicking on the first transfer.
+	ctx, err := hstreams.Init(hstreams.Config{Partitions: 2, ExecuteKernels: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := BuildScenario(ctx, ScenarioConfig{Pattern: "balanced", Seed: 2, JobScale: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JobScale 0 defaults to 1 → 80 jobs; trim for speed.
+	jobs = jobs[:8]
+	s, _ := New(ctx)
+	r, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Jobs) != 8 {
+		t.Fatalf("completed %d jobs, want 8", len(r.Jobs))
+	}
+}
+
+func TestRunRejectsNilTask(t *testing.T) {
+	ctx := newCtx(t, 1)
+	s, _ := New(ctx)
+	if _, err := s.Run([]Job{{ID: 3, Tenant: "x", Tasks: []*core.Task{nil}}}); err == nil {
+		t.Error("nil task should error, not panic in the event loop")
+	}
+}
+
+func TestPolicyCannotCorruptView(t *testing.T) {
+	ctx := newCtx(t, 4)
+	s, _ := New(ctx, WithPolicy(vandalPolicy{}))
+	jobs := []Job{
+		syntheticJob(0, "t", 0, 1e8),
+		syntheticJob(1, "t", sim.Time(100*sim.Millisecond), 1e8),
+	}
+	r, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range r.Jobs {
+		if o.Stream != 0 {
+			t.Errorf("job %d on stream %d; mutating the View must not corrupt scheduler state", i, o.Stream)
+		}
+	}
+}
+
+// vandalPolicy scribbles over every View slice before picking like
+// FIFO; the scheduler must be immune.
+type vandalPolicy struct{}
+
+func (vandalPolicy) Name() string { return "vandal" }
+func (vandalPolicy) Pick(pending []*Pending, idle []int, v *View) (int, int) {
+	for i := range v.StreamPartition {
+		v.StreamPartition[i] = -1
+	}
+	for i := range v.StreamLoad {
+		v.StreamLoad[i] = -1
+	}
+	return 0, idle[0]
+}

@@ -40,19 +40,10 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(s / float64(n-1))
 }
 
-// Median returns the median of xs, or 0 for an empty slice.
-func Median(xs []float64) float64 {
-	n := len(xs)
-	if n == 0 {
-		return 0
-	}
-	ys := append([]float64(nil), xs...)
-	sort.Float64s(ys)
-	if n%2 == 1 {
-		return ys[n/2]
-	}
-	return (ys[n/2-1] + ys[n/2]) / 2
-}
+// Median returns the median of xs, or 0 for an empty slice. It is
+// Percentile at p = 50 (for even lengths the linear-interpolation
+// estimator averages the middle pair, matching the textbook median).
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
 // Min returns the smallest element and its index (-1 for empty input).
 func Min(xs []float64) (float64, int) {
@@ -177,6 +168,89 @@ func IsUnimodalMin(xs []float64, tol float64) bool {
 	}
 	_, at := Min(xs)
 	return IsMonotone(xs[:at+1], -1, tol) && IsMonotone(xs[at:], +1, tol)
+}
+
+// Percentile returns the p-th percentile of xs (p in [0, 100]) using
+// linear interpolation between closest ranks, the same estimator
+// NumPy's default ("linear") uses. It returns 0 for an empty slice,
+// clamps p into [0, 100], and returns NaN for a NaN p. The input is
+// not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	return percentileSorted(ys, p)
+}
+
+// percentileSorted is Percentile over an already-sorted, non-empty
+// slice.
+func percentileSorted(ys []float64, p float64) float64 {
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
+	n := len(ys)
+	if n == 1 {
+		return ys[0]
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return ys[lo]
+	}
+	frac := rank - float64(lo)
+	return ys[lo] + frac*(ys[hi]-ys[lo])
+}
+
+// Percentiles returns the p50, p95 and p99 of xs over a single sorted
+// copy — the latency summary the scheduler reports per tenant.
+func Percentiles(xs []float64) (p50, p95, p99 float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	return percentileSorted(ys, 50), percentileSorted(ys, 95), percentileSorted(ys, 99)
+}
+
+// JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) over the
+// per-entity allocations xs: 1 when all shares are equal, approaching
+// 1/n as one entity monopolizes the resource. Non-finite or negative
+// inputs and the empty slice yield 0; an all-zero slice yields 1
+// (nothing allocated is trivially fair).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	maxX := 0.0
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return 0
+		}
+		if x > maxX {
+			maxX = x
+		}
+	}
+	if maxX == 0 {
+		return 1
+	}
+	// The index is scale-invariant; normalizing by the largest share
+	// keeps the sums finite for any finite input.
+	var sum, sumSq float64
+	for _, x := range xs {
+		x /= maxX
+		sum += x
+		sumSq += x * x
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
 }
 
 // Speedup returns before/after: >1 means after is faster, for

@@ -195,3 +195,100 @@ func TestPropertySummaryInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {25, 20}, {50, 35}, {75, 40}, {100, 50},
+		{40, 29}, // 1.6 ranks in: 20 + 0.6·(35-20)
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty Percentile should be 0")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Error("single-element Percentile should be the element")
+	}
+	// Clamping.
+	if Percentile(xs, -5) != 15 || Percentile(xs, 400) != 50 {
+		t.Error("out-of-range p should clamp to min/max")
+	}
+	// Input must not be reordered.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	p50, p95, p99 := Percentiles(xs)
+	if p50 != 50 || p95 != 95 || p99 != 99 {
+		t.Fatalf("Percentiles = (%v,%v,%v), want (50,95,99)", p50, p95, p99)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex([]float64{10, 10, 10, 10}); math.Abs(j-1) > 1e-12 {
+		t.Errorf("equal shares Jain = %v, want 1", j)
+	}
+	// One of four entities monopolizing → 1/4.
+	if j := JainIndex([]float64{100, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Errorf("monopoly Jain = %v, want 0.25", j)
+	}
+	// Textbook mixed case: (1+2+3)²/(3·(1+4+9)) = 36/42.
+	if j := JainIndex([]float64{1, 2, 3}); math.Abs(j-36.0/42.0) > 1e-12 {
+		t.Errorf("mixed Jain = %v, want %v", j, 36.0/42.0)
+	}
+	if JainIndex(nil) != 0 {
+		t.Error("empty Jain should be 0")
+	}
+	if JainIndex([]float64{0, 0}) != 1 {
+		t.Error("all-zero Jain should be 1")
+	}
+	if JainIndex([]float64{1, -1}) != 0 || JainIndex([]float64{1, math.NaN()}) != 0 {
+		t.Error("invalid inputs should give 0")
+	}
+	// Scale invariance and range (0,1] on positive inputs.
+	err := quick.Check(func(a, b, c uint8) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		j := JainIndex(xs)
+		scaled := JainIndex([]float64{xs[0] * 7, xs[1] * 7, xs[2] * 7})
+		return j > 1.0/3.0-1e-12 && j <= 1+1e-12 && math.Abs(j-scaled) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileNaN(t *testing.T) {
+	if got := Percentile([]float64{1, 2, 3}, math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Percentile(NaN) = %v, want NaN", got)
+	}
+}
+
+func TestPercentileNaNSingleElement(t *testing.T) {
+	if got := Percentile([]float64{7}, math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Percentile([7], NaN) = %v, want NaN", got)
+	}
+}
+
+func TestJainIndexHugeValues(t *testing.T) {
+	if j := JainIndex([]float64{1e200, 1e200}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("huge equal shares Jain = %v, want 1 (no overflow)", j)
+	}
+	if j := JainIndex([]float64{1e200, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("huge monopoly Jain = %v, want 0.25", j)
+	}
+}

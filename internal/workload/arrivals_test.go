@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Golden values lock the exact byte-for-byte arrival streams: the
+// scheduler's determinism guarantee (DESIGN.md §6) rests on these
+// generators producing identical output on every platform.
+func TestPoissonArrivalsGolden(t *testing.T) {
+	got, err := PoissonArrivals(42, 5, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1353110, 1527357, 1853920, 2275805, 2314577}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PoissonArrivals(42, 5, 1e6) = %v, want %v", got, want)
+	}
+}
+
+func TestBurstyArrivalsGolden(t *testing.T) {
+	got, err := BurstyArrivals(42, 6, 3, 1e5, 5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{6765552, 6782977, 6815633, 8925060, 8928937, 9131605}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BurstyArrivals(42, 6, 3, 1e5, 5e6) = %v, want %v", got, want)
+	}
+	// The burst structure must be visible: within-burst gaps are an
+	// order of magnitude tighter than the between-burst silences.
+	if gap := got[3] - got[2]; gap < 10*(got[2]-got[1]) {
+		t.Errorf("between-burst gap %d not much larger than within-burst gap %d", gap, got[2]-got[1])
+	}
+}
+
+func TestHeavyTailArrivalsGolden(t *testing.T) {
+	got, err := HeavyTailArrivals(42, 5, 1e5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{246470, 358788, 483111, 615590, 718209}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("HeavyTailArrivals(42, 5, 1e5, 1.5) = %v, want %v", got, want)
+	}
+}
+
+func TestArrivalsInvariants(t *testing.T) {
+	type gen func(seed uint64) ([]int64, error)
+	gens := map[string]gen{
+		"poisson": func(s uint64) ([]int64, error) { return PoissonArrivals(s, 200, 5e5) },
+		"bursty":  func(s uint64) ([]int64, error) { return BurstyArrivals(s, 200, 8, 1e4, 2e6) },
+		"heavy":   func(s uint64) ([]int64, error) { return HeavyTailArrivals(s, 200, 5e4, 1.3) },
+	}
+	for name, g := range gens {
+		for seed := uint64(1); seed <= 5; seed++ {
+			xs, err := g(seed)
+			if err != nil {
+				t.Fatalf("%s(seed=%d): %v", name, seed, err)
+			}
+			if len(xs) != 200 {
+				t.Fatalf("%s(seed=%d): got %d arrivals, want 200", name, seed, len(xs))
+			}
+			for i := 1; i < len(xs); i++ {
+				if xs[i] < xs[i-1] {
+					t.Fatalf("%s(seed=%d): arrivals not sorted at %d: %d < %d", name, seed, i, xs[i], xs[i-1])
+				}
+			}
+			if xs[0] < 0 {
+				t.Fatalf("%s(seed=%d): negative first arrival %d", name, seed, xs[0])
+			}
+			again, _ := g(seed)
+			if !reflect.DeepEqual(xs, again) {
+				t.Fatalf("%s(seed=%d): not reproducible", name, seed)
+			}
+		}
+	}
+}
+
+func TestArrivalsErrors(t *testing.T) {
+	if _, err := PoissonArrivals(1, -1, 1e6); err == nil {
+		t.Error("negative n should error")
+	}
+	if _, err := PoissonArrivals(1, 5, 0); err == nil {
+		t.Error("zero mean gap should error")
+	}
+	if _, err := BurstyArrivals(1, 5, 0, 1e5, 1e6); err == nil {
+		t.Error("zero burst length should error")
+	}
+	if _, err := BurstyArrivals(1, 5, 2, -1, 1e6); err == nil {
+		t.Error("negative within gap should error")
+	}
+	if _, err := HeavyTailArrivals(1, 5, 1e5, 0); err == nil {
+		t.Error("zero alpha should error")
+	}
+	if _, err := HeavyTailArrivals(1, 5, 0, 1.5); err == nil {
+		t.Error("zero min gap should error")
+	}
+	if xs, err := PoissonArrivals(1, 0, 1e6); err != nil || len(xs) != 0 {
+		t.Error("n=0 should return an empty slice without error")
+	}
+}
