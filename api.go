@@ -7,6 +7,7 @@ import (
 	"micstream/internal/device"
 	"micstream/internal/experiments"
 	"micstream/internal/hstreams"
+	"micstream/internal/model"
 	"micstream/internal/pcie"
 	"micstream/internal/sched"
 	"micstream/internal/sim"
@@ -126,6 +127,51 @@ func CandidatePartitions(cfg DeviceConfig) []int { return core.CandidatePartitio
 // partition count (multiples of P, thinned geometrically).
 func CandidateTiles(p, maxTiles int) []int { return core.CandidateTiles(p, maxTiles) }
 
+// Analytic performance-model layer, re-exported from the model
+// package: closed-form predictions of wall time, overlap and GFLOPS
+// for any (partitions, tiles) configuration, so good configurations
+// are picked instead of measured (DESIGN.md §8).
+type (
+	// Model predicts configurations for one platform and calibrates
+	// itself against simulated probe runs (Fit).
+	Model = model.Model
+	// ModelWorkload describes a tunable application to the model as
+	// barrier-separated phases parameterized by tile count.
+	ModelWorkload = model.Workload
+	// ModelPhase is one barrier-separated stage of a ModelWorkload.
+	ModelPhase = model.Phase
+	// Prediction is the model's estimate of one configuration.
+	Prediction = model.Prediction
+	// Candidate is one model-ranked (partitions, tiles) point.
+	Candidate = model.Candidate
+	// Probe is one Fit calibration measurement.
+	Probe = model.Probe
+)
+
+// NewModel builds an uncalibrated performance model of a platform.
+func NewModel(dev DeviceConfig, link LinkConfig) *Model { return model.New(dev, link) }
+
+// UniformWorkload describes the generic overlappable workload: one
+// phase of tiles evenly splitting a total kernel cost (template's
+// Flops/Bytes are workload totals) and per-direction transfer volume.
+func UniformWorkload(name string, h2dBytes, d2hBytes int64, template KernelCost) ModelWorkload {
+	return model.Uniform(name, h2dBytes, d2hBytes, template)
+}
+
+// WorkloadFromTasks summarizes an already-tiled task list as a
+// one-phase workload for prediction.
+func WorkloadFromTasks(name string, tasks []*Task) ModelWorkload {
+	return model.FromTasks(name, tasks)
+}
+
+// TuneGuided prunes a granularity search with a cheap predictor:
+// every point is scored with predict, only the topK best-predicted
+// candidates are measured with eval. Use Model.EvalFunc as predict to
+// search with the analytic model.
+func TuneGuided(space SearchSpace, predict, eval EvalFunc, topK int) (TuneResult, error) {
+	return core.TuneGuided(space, predict, eval, topK)
+}
+
 // Online multi-tenant scheduling layer, re-exported from the sched
 // package: many concurrent workloads contending for the platform's
 // partitions and PCIe link, instead of RunTasks' one job at a time.
@@ -174,7 +220,17 @@ func RoundRobinPolicy() SchedPolicy { return sched.RoundRobin() }
 // idle stream.
 func SJFPolicy() SchedPolicy { return sched.SJF() }
 
-// PolicyByName returns a fresh "fifo", "rr" or "sjf" policy.
+// AdaptivePolicy re-divides the platform's streams among tenants in
+// proportion to their model-predicted work mix, re-planning at
+// admission/drain instants whenever the mix drifts.
+func AdaptivePolicy() SchedPolicy { return sched.Adaptive() }
+
+// AdaptivePolicyWithModel is AdaptivePolicy with a caller-supplied
+// (e.g. Fit-calibrated) performance model.
+func AdaptivePolicyWithModel(m *Model) SchedPolicy { return sched.AdaptiveWithModel(m) }
+
+// PolicyByName returns a fresh "fifo", "rr", "sjf" or "adaptive"
+// policy.
 func PolicyByName(name string) (SchedPolicy, error) { return sched.ByName(name) }
 
 // PolicyNames lists the built-in scheduling policies.

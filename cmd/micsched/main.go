@@ -11,7 +11,9 @@
 //
 // Policies: fifo (arrival order, pack lowest stream), rr (arrival
 // order, rotate across partitions), sjf (shortest job first,
-// least-loaded placement). Patterns set the per-tenant offered load:
+// least-loaded placement), adaptive (model-predicted per-tenant
+// stream shares, re-planned when the mix drifts). Patterns set the
+// per-tenant offered load:
 // balanced 20/20/20/20 through severe 5/10/40/80 jobs. Every run is a
 // pure function of its flags — repeat a command and the virtual-time
 // schedule is bit-identical.
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		policy     = flag.String("policy", "fifo", "scheduling policy: fifo, rr, sjf")
+		policy     = flag.String("policy", "fifo", "scheduling policy: fifo, rr, sjf, adaptive")
 		pattern    = flag.String("pattern", "balanced", "load-imbalance pattern: balanced, mild, moderate, severe")
 		arrival    = flag.String("arrival", "bursty", "arrival process: poisson, bursty, heavytail")
 		seed       = flag.Uint64("seed", 1, "scenario seed")

@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	mictune [-flops 4e10] [-bytes 2.6e8] [-maxp 56] [-maxt 128]
+//	mictune [-flops 4e10] [-bytes 2.6e8] [-maxp 56] [-maxt 128] [-topk 16]
 //
 // The workload is a bag of independent tasks with the given total
 // compute and transfer volume, split evenly across tiles — the generic
-// shape of the paper's overlappable applications.
+// shape of the paper's overlappable applications. Alongside the
+// measured searches it runs the model-guided search (DESIGN.md §8):
+// the analytic model ranks every point and only the top k are
+// simulated.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"os"
 
 	"micstream"
+	"micstream/internal/experiments"
 )
 
 func main() {
@@ -26,40 +30,25 @@ func main() {
 		bytes = flag.Int("bytes", 256<<20, "total transfer volume (bytes, split H2D+D2H)")
 		maxP  = flag.Int("maxp", 56, "largest partition count to search")
 		maxT  = flag.Int("maxt", 128, "largest tile count to search")
+		topK  = flag.Int("topk", 16, "simulated candidates in the model-guided search")
 	)
 	flag.Parse()
-
-	eval := func(partitions, tiles int) (float64, error) {
-		p, err := micstream.NewPlatform(micstream.WithPartitions(partitions))
-		if err != nil {
-			return 0, err
-		}
-		buf := micstream.AllocVirtual(p, "data", *bytes/2, 1)
-		per := buf.Len() / tiles
-		if per == 0 {
-			per = 1
-		}
-		tasks := make([]*micstream.Task, 0, tiles)
-		for i := 0; i < tiles; i++ {
-			off := (i * per) % buf.Len()
-			n := per
-			if off+n > buf.Len() {
-				n = buf.Len() - off
-			}
-			tasks = append(tasks, &micstream.Task{
-				ID:         i,
-				H2D:        []micstream.TransferSpec{micstream.Xfer(buf, off, n)},
-				Cost:       micstream.KernelCost{Name: "work", Flops: *flops / float64(tiles)},
-				D2H:        []micstream.TransferSpec{micstream.Xfer(buf, off, n)},
-				StreamHint: -1,
-			})
-		}
-		res, err := micstream.RunTasks(p, tasks, 0)
-		if err != nil {
-			return 0, err
-		}
-		return res.Wall.Seconds(), nil
+	switch {
+	case *flops <= 0:
+		usageError("-flops must be positive, got %g", *flops)
+	case *bytes <= 0:
+		usageError("-bytes must be positive, got %d", *bytes)
+	case *maxP < 1:
+		usageError("-maxp must be at least 1, got %d", *maxP)
+	case *maxT < 1:
+		usageError("-maxt must be at least 1, got %d", *maxT)
+	case *topK < 1:
+		usageError("-topk must be at least 1, got %d", *topK)
 	}
+
+	// The workload builder is shared with the guided/modelval studies
+	// so CLI and experiments measure the same synthetic shape.
+	eval := experiments.SynthEval(*flops, int64(*bytes))
 
 	fmt.Printf("workload: %.3g flops, %d MB transfers\n\n", *flops, *bytes>>20)
 
@@ -86,13 +75,30 @@ func main() {
 	fmt.Printf("descent:    %5d points -> best P=%-3d T=%-4d %.3f ms\n",
 		cd.Evaluations, cd.Partitions, cd.Tiles, cd.Seconds*1e3)
 
-	fmt.Printf("\nsearch-space reduction: %.1fx (pruned), %.1fx (descent); optima within %.2f%% / %.2f%%\n",
+	m := micstream.NewModel(micstream.Xeon31SP(), micstream.DefaultLink())
+	w := experiments.SynthWorkload(*flops, int64(*bytes))
+	gd, err := micstream.TuneGuided(exhaustive, m.EvalFunc(w), eval, *topK)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("guided:     %5d points -> best P=%-3d T=%-4d %.3f ms\n",
+		gd.Evaluations, gd.Partitions, gd.Tiles, gd.Seconds*1e3)
+
+	fmt.Printf("\nsearch-space reduction: %.1fx (pruned), %.1fx (descent), %.1fx (guided); optima within %.2f%% / %.2f%% / %.2f%%\n",
 		float64(ex.Evaluations)/float64(pr.Evaluations),
 		float64(ex.Evaluations)/float64(cd.Evaluations),
+		float64(ex.Evaluations)/float64(gd.Evaluations),
 		(pr.Seconds/ex.Seconds-1)*100,
-		(cd.Seconds/ex.Seconds-1)*100)
+		(cd.Seconds/ex.Seconds-1)*100,
+		(gd.Seconds/ex.Seconds-1)*100)
 	fmt.Printf("recommended partition candidates (divisors of 56): %v\n",
 		micstream.CandidatePartitions(micstream.Xeon31SP()))
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mictune: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -1,0 +1,79 @@
+// Modeltune: pick a configuration by predicting instead of measuring.
+//
+// The program describes a tiled offload workload to the analytic
+// performance model, lets the model rank the whole (partitions, tiles)
+// plane in microseconds, and then simulates only the model's pick and
+// the textbook single-stream baseline to show the difference. This is
+// the DESIGN.md §8 flow in miniature; cmd/mictune runs the full
+// search-cost comparison and cmd/micmodel the full validation.
+//
+//	go run ./examples/modeltune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"micstream"
+)
+
+const (
+	flops    = 2e10     // total kernel work
+	xferEach = 64 << 20 // bytes per direction
+)
+
+// simulate measures one configuration for real.
+func simulate(partitions, tiles int) float64 {
+	p, err := micstream.NewPlatform(micstream.WithPartitions(partitions))
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := micstream.AllocVirtual(p, "data", xferEach, 1)
+	per := buf.Len() / tiles
+	tasks := make([]*micstream.Task, 0, tiles)
+	for i := 0; i < tiles; i++ {
+		off := i * per
+		n := per
+		if i == tiles-1 {
+			n = buf.Len() - off
+		}
+		tasks = append(tasks, &micstream.Task{
+			ID:         i,
+			H2D:        []micstream.TransferSpec{micstream.Xfer(buf, off, n)},
+			Cost:       micstream.KernelCost{Name: "work", Flops: flops / float64(tiles)},
+			D2H:        []micstream.TransferSpec{micstream.Xfer(buf, off, n)},
+			StreamHint: -1,
+		})
+	}
+	res, err := micstream.RunTasks(p, tasks, flops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Wall.Seconds()
+}
+
+func main() {
+	// 1. Describe the workload analytically: total work, total bytes,
+	// everything else derived per tile.
+	w := micstream.UniformWorkload("example", xferEach, xferEach,
+		micstream.KernelCost{Name: "work", Flops: flops})
+	m := micstream.NewModel(micstream.Xeon31SP(), micstream.DefaultLink())
+
+	// 2. Rank the pruned (P, T) plane without simulating anything.
+	space := micstream.HeuristicSpace(56, 64)
+	best, err := m.BestConfig(w, space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model pick over %d candidates: P=%d T=%d, predicted %.3f ms\n",
+		space.Size(), best.Partitions, best.Tiles, best.Pred.Seconds()*1e3)
+
+	// 3. Simulate just two points: the model's pick and the
+	// single-stream baseline it is supposed to beat.
+	picked := simulate(best.Partitions, best.Tiles)
+	baseline := simulate(1, 1)
+	fmt.Printf("simulated pick:      %.3f ms (prediction off by %+.1f%%)\n",
+		picked*1e3, (best.Pred.Seconds()/picked-1)*100)
+	fmt.Printf("simulated baseline:  %.3f ms (1 stream, 1 tile)\n", baseline*1e3)
+	fmt.Printf("speedup picked without a search: %.2fx\n", baseline/picked)
+}

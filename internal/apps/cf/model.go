@@ -1,0 +1,53 @@
+package cf
+
+import "micstream/internal/model"
+
+// Model describes the tiled Cholesky factorization to the analytic
+// performance model. The tiles argument of the description is the grid
+// edge (Run's grid parameter). The right-looking algorithm serializes
+// on the diagonal, so each step is modeled as three dependent phases —
+// factor the diagonal tile, solve the panel below it, update the
+// trailing submatrix — with each tile's single inbound and outbound
+// transfer attributed to the first phase that touches it. The DAG's
+// real cross-step overlap is not captured, so the model is biased
+// pessimistic for CF; the modelval experiment reports the error.
+func (a *App) Model() model.Workload {
+	n := a.p.N
+	return model.Workload{
+		Name:  "cf",
+		Flops: a.TotalFlops(),
+		Phases: func(grid int) []model.Phase {
+			if grid < 1 {
+				grid = 1
+			}
+			b := n / grid
+			tileBytes := int64(8 * b * b)
+			var phases []model.Phase
+			for k := 0; k < grid; k++ {
+				potrf := model.Phase{
+					Tiles: 1, HasKernel: true, Cost: potrfCost(b),
+					D2HBytesPerTile: tileBytes,
+				}
+				if k == 0 {
+					potrf.H2DBytesPerTile = tileBytes
+				}
+				phases = append(phases, potrf)
+				if m := grid - k - 1; m > 0 {
+					trsm := model.Phase{
+						Tiles: m, HasKernel: true, Cost: trsmCost(b),
+						D2HBytesPerTile: tileBytes,
+					}
+					upd := model.Phase{
+						Tiles: m * (m + 1) / 2, HasKernel: true, Cost: gemmCost(b),
+					}
+					if k == 0 {
+						trsm.H2DBytesPerTile = tileBytes
+						upd.H2DBytesPerTile = tileBytes
+					}
+					phases = append(phases, trsm, upd)
+				}
+			}
+			return phases
+		},
+	}
+}

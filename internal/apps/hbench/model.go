@@ -1,0 +1,32 @@
+package hbench
+
+import "micstream/internal/model"
+
+// Model describes the streamed microbenchmark to the analytic
+// performance model: RunStreamed's single phase of tiles tasks, each
+// shipping its float32 slice in, iterating the addition, and shipping
+// the result back. The tiles argument of the description matches
+// RunStreamed's tile count.
+func (a *App) Model() model.Workload {
+	e, iters := a.p.Elements, a.p.Iterations
+	return model.Workload{
+		Name:  "hbench",
+		Flops: float64(e) * float64(iters),
+		Phases: func(tiles int) []model.Phase {
+			if tiles < 1 {
+				tiles = 1
+			}
+			if tiles > e {
+				tiles = e
+			}
+			n := e / tiles
+			return []model.Phase{{
+				Tiles:           tiles,
+				H2DBytesPerTile: int64(4 * n),
+				D2HBytesPerTile: int64(4 * n),
+				HasKernel:       true,
+				Cost:            Cost(n, iters),
+			}}
+		},
+	}
+}

@@ -1,0 +1,34 @@
+package hotspot
+
+import "micstream/internal/model"
+
+// Model describes the thermal simulation to the analytic performance
+// model: the power grid ships once (prolog), then every iteration runs
+// the paper's synchronized H2D→EXE→D2H sequence as three
+// barrier-separated phases. The tiles argument matches Run's stripe
+// count.
+func (a *App) Model() model.Workload {
+	p := a.p
+	d := p.Dim
+	return model.Workload{
+		Name:           "hotspot",
+		Flops:          FlopsPerCell * float64(d) * float64(d) * float64(p.Iterations),
+		Rounds:         p.Iterations,
+		PrologH2DBytes: int64(8 * d * d),
+		Phases: func(tiles int) []model.Phase {
+			if tiles < 1 {
+				tiles = 1
+			}
+			if tiles > d {
+				tiles = d
+			}
+			rows := d / tiles
+			stripeBytes := int64(8 * rows * d)
+			return []model.Phase{
+				{Tiles: tiles, H2DBytesPerTile: stripeBytes},
+				{Tiles: tiles, HasKernel: true, Cost: a.taskCost(rows)},
+				{Tiles: tiles, D2HBytesPerTile: stripeBytes},
+			}
+		},
+	}
+}

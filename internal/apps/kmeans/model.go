@@ -1,0 +1,38 @@
+package kmeans
+
+import "micstream/internal/model"
+
+// Model describes the clustering iteration to the analytic performance
+// model: the points ship once (prolog), then every iteration
+// broadcasts the centroids, runs the assignment kernels with their
+// per-task partial readbacks, and reduces on the host. The tiles
+// argument matches Run's task count.
+func (a *App) Model() model.Workload {
+	p := a.p
+	kf := p.K * p.Features
+	partialLen := kf + p.K
+	return model.Workload{
+		Name:           "kmeans",
+		Flops:          a.TotalFlops(),
+		Rounds:         p.Iterations,
+		PrologH2DBytes: int64(8 * p.N * p.Features),
+		Phases: func(tiles int) []model.Phase {
+			if tiles < 1 {
+				tiles = 1
+			}
+			if tiles > p.N {
+				tiles = p.N
+			}
+			return []model.Phase{
+				{Tiles: 1, H2DBytesPerTile: int64(8 * kf)},
+				{
+					Tiles:           tiles,
+					D2HBytesPerTile: int64(8 * partialLen),
+					HasKernel:       true,
+					Cost:            a.taskCost(p.N / tiles),
+					SerialNs:        HostUpdateNs,
+				},
+			}
+		},
+	}
+}

@@ -1,0 +1,30 @@
+package mm
+
+import "micstream/internal/model"
+
+// Model describes the tiled matrix multiplication to the analytic
+// performance model. The tiles argument of the description is the grid
+// edge (Run's second parameter); the phase holds grid² compute tiles.
+// Panel shipments pipeline with the compute tasks that gate on them,
+// so their bytes are attributed evenly to the compute tiles: the full
+// 8·N² of input spread over grid² tasks.
+func (a *App) Model() model.Workload {
+	n := a.p.N
+	return model.Workload{
+		Name:  "mm",
+		Flops: a.TotalFlops(),
+		Phases: func(grid int) []model.Phase {
+			if grid < 1 {
+				grid = 1
+			}
+			bs := n / grid
+			return []model.Phase{{
+				Tiles:           grid * grid,
+				H2DBytesPerTile: int64(8 * bs * n / grid),
+				D2HBytesPerTile: int64(4 * bs * bs),
+				HasKernel:       true,
+				Cost:            a.TileCost(grid),
+			}}
+		},
+	}
+}

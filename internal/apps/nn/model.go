@@ -1,0 +1,32 @@
+package nn
+
+import "micstream/internal/model"
+
+// Model describes the nearest-neighbor search to the analytic
+// performance model: one phase of tiles tasks, each shipping its
+// latitude and longitude slices in (two transfers) and its distance
+// slice out. The tiles argument matches Run's task count.
+func (a *App) Model() model.Workload {
+	n := a.p.N
+	return model.Workload{
+		Name:  "nn",
+		Flops: FlopsPerRecord * float64(n),
+		Phases: func(tiles int) []model.Phase {
+			if tiles < 1 {
+				tiles = 1
+			}
+			if tiles > n {
+				tiles = n
+			}
+			per := n / tiles
+			return []model.Phase{{
+				Tiles:           tiles,
+				H2DBytesPerTile: int64(8 * per),
+				H2DXfersPerTile: 2,
+				D2HBytesPerTile: int64(4 * per),
+				HasKernel:       true,
+				Cost:            taskCost(per),
+			}}
+		},
+	}
+}

@@ -1,0 +1,42 @@
+package srad
+
+import "micstream/internal/model"
+
+// Model describes the despeckling iteration to the analytic
+// performance model: the image ships once each way (prolog/epilog),
+// and every iteration runs the statistics reduction (with its tiny
+// per-task readback and host combine) followed by the two stencil
+// phases, all barrier-separated. The tiles argument matches Run's
+// stripe count.
+func (a *App) Model() model.Workload {
+	p := a.p
+	d := p.Dim
+	return model.Workload{
+		Name:           "srad",
+		Flops:          float64(p.Iterations) * float64(d) * float64(d) * (2 + 2*FlopsPerCell),
+		Rounds:         p.Iterations,
+		PrologH2DBytes: int64(8 * d * d),
+		EpilogD2HBytes: int64(8 * d * d),
+		Phases: func(tiles int) []model.Phase {
+			if tiles < 1 {
+				tiles = 1
+			}
+			if tiles > d {
+				tiles = d
+			}
+			cells := (d / tiles) * d
+			ws := int64(cells) * 16
+			return []model.Phase{
+				{
+					Tiles:           tiles,
+					D2HBytesPerTile: 16,
+					HasKernel:       true,
+					Cost:            reduceCost(cells),
+					SerialNs:        HostStatsNs,
+				},
+				{Tiles: tiles, HasKernel: true, Cost: stencilCost("srad.coeff", cells, ws)},
+				{Tiles: tiles, HasKernel: true, Cost: stencilCost("srad.update", cells, ws)},
+			}
+		},
+	}
+}

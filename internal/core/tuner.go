@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // EvalFunc measures one (P, T) configuration and returns its execution
@@ -141,6 +142,61 @@ func TuneCoordinateDescent(space SearchSpace, eval EvalFunc, rounds int) (TuneRe
 		}
 	}
 	return res, nil
+}
+
+// TuneGuided prunes the search with a cheap predictor: every point of
+// the space is scored with predict (an analytic model — microseconds
+// per point), the topK best-predicted candidates are measured with
+// eval, and the best measurement wins. Evaluations counts only eval
+// calls, so the search cost drops from |space| to topK simulations;
+// prediction ties break by (partitions, tiles) so the candidate set is
+// deterministic. The model needs to rank well, not predict exactly:
+// the true optimum merely has to land in the top k.
+func TuneGuided(space SearchSpace, predict, eval EvalFunc, topK int) (TuneResult, error) {
+	type scored struct {
+		p, t int
+		sec  float64
+	}
+	var cands []scored
+	for _, p := range space.Partitions {
+		for _, t := range space.TilesFor(p) {
+			sec, err := predict(p, t)
+			if err != nil {
+				return TuneResult{}, fmt.Errorf("core: predicting P=%d T=%d: %w", p, t, err)
+			}
+			cands = append(cands, scored{p, t, sec})
+		}
+	}
+	if len(cands) == 0 {
+		return TuneResult{}, fmt.Errorf("core: empty search space")
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sec != cands[j].sec {
+			return cands[i].sec < cands[j].sec
+		}
+		if cands[i].p != cands[j].p {
+			return cands[i].p < cands[j].p
+		}
+		return cands[i].t < cands[j].t
+	})
+	if topK < 1 {
+		topK = 1
+	}
+	if topK > len(cands) {
+		topK = len(cands)
+	}
+	best := TuneResult{Seconds: math.Inf(1)}
+	for _, c := range cands[:topK] {
+		sec, err := eval(c.p, c.t)
+		if err != nil {
+			return TuneResult{}, fmt.Errorf("core: evaluating P=%d T=%d: %w", c.p, c.t, err)
+		}
+		best.Evaluations++
+		if sec < best.Seconds {
+			best.Partitions, best.Tiles, best.Seconds = c.p, c.t, sec
+		}
+	}
+	return best, nil
 }
 
 // Tune evaluates every point of the space and returns the fastest.

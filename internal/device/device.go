@@ -210,18 +210,34 @@ func (d *Device) Config() Config { return d.cfg }
 // Name returns the device instance name.
 func (d *Device) Name() string { return d.name }
 
-// SetPartitions divides the usable hardware threads contiguously into n
-// partitions. n may range from 1 to the total thread count; when n does
-// not divide the thread count the remainder threads are spread over the
-// leading partitions (mirroring hStreams' even places). Re-partitioning
-// discards previous partitions; callers must not hold kernels in flight
-// across a repartition.
-func (d *Device) SetPartitions(n int) error {
-	total := d.cfg.TotalThreads()
+// PartitionShape is the geometry of one partition of an n-way split:
+// everything the timing model needs to know about where the partition's
+// threads sit on the die. It is a pure description — analytic layers
+// (internal/model) evaluate kernel times on shapes without building a
+// Device.
+type PartitionShape struct {
+	// FirstThread is the partition's first global thread index.
+	FirstThread int
+	// Threads is the partition's hardware thread count.
+	Threads int
+	// CoresSpanned is how many physical cores hold any of the
+	// partition's threads.
+	CoresSpanned int
+	// SharesCore reports whether a boundary of the thread range
+	// splits a physical core with a neighbouring partition.
+	SharesCore bool
+}
+
+// PartitionLayout divides the usable hardware threads contiguously into
+// n partitions and returns their shapes: base threads each, with the
+// remainder spread over the leading partitions (mirroring hStreams'
+// even places). It returns nil when n is out of [1, TotalThreads].
+func (c Config) PartitionLayout(n int) []PartitionShape {
+	total := c.TotalThreads()
 	if n < 1 || n > total {
-		return fmt.Errorf("device: partition count %d out of range [1,%d]", n, total)
+		return nil
 	}
-	d.parts = make([]*Partition, n)
+	shapes := make([]PartitionShape, n)
 	base, rem := total/n, total%n
 	first := 0
 	for i := 0; i < n; i++ {
@@ -229,15 +245,36 @@ func (d *Device) SetPartitions(n int) error {
 		if i < rem {
 			threads++
 		}
-		p := &Partition{
-			dev:         d,
-			idx:         i,
-			firstThread: first,
-			threads:     threads,
+		shapes[i] = PartitionShape{
+			FirstThread:  first,
+			Threads:      threads,
+			CoresSpanned: coresSpanned(first, threads, c.ThreadsPerCore),
+			SharesCore:   sharesCore(first, threads, c.ThreadsPerCore, total),
 		}
 		first += threads
-		p.coresSpanned = coresSpanned(p.firstThread, p.threads, d.cfg.ThreadsPerCore)
-		p.sharesCore = sharesCore(p.firstThread, p.threads, d.cfg.ThreadsPerCore, total)
+	}
+	return shapes
+}
+
+// SetPartitions divides the usable hardware threads contiguously into n
+// partitions following PartitionLayout. Re-partitioning discards
+// previous partitions; callers must not hold kernels in flight across a
+// repartition.
+func (d *Device) SetPartitions(n int) error {
+	shapes := d.cfg.PartitionLayout(n)
+	if shapes == nil {
+		return fmt.Errorf("device: partition count %d out of range [1,%d]", n, d.cfg.TotalThreads())
+	}
+	d.parts = make([]*Partition, n)
+	for i, sh := range shapes {
+		p := &Partition{
+			dev:          d,
+			idx:          i,
+			firstThread:  sh.FirstThread,
+			threads:      sh.Threads,
+			coresSpanned: sh.CoresSpanned,
+			sharesCore:   sh.SharesCore,
+		}
 		p.srv = sim.NewServer(d.eng, fmt.Sprintf("%s/part%d", d.name, i))
 		d.parts[i] = p
 	}
@@ -315,8 +352,22 @@ func (p *Partition) FreeAt() sim.Time { return p.srv.FreeAt() }
 // KernelTime evaluates the timing model for one invocation of cost c on
 // this partition, independent of queueing.
 func (p *Partition) KernelTime(c KernelCost) sim.Duration {
-	cfg := &p.dev.cfg
-	t := float64(p.threads)
+	shape := PartitionShape{
+		FirstThread:  p.firstThread,
+		Threads:      p.threads,
+		CoresSpanned: p.coresSpanned,
+		SharesCore:   p.sharesCore,
+	}
+	return p.dev.cfg.KernelTimeOn(c, shape, len(p.dev.parts))
+}
+
+// KernelTimeOn evaluates the timing model for one invocation of cost c
+// on a partition of the given shape, with partitions active partitions
+// on the device. This is the simulator's closed-form kernel equation
+// (DESIGN.md §2) exposed as a pure function so the analytic performance
+// model predicts with exactly the terms the simulation charges.
+func (cfg Config) KernelTimeOn(c KernelCost, shape PartitionShape, partitions int) sim.Duration {
+	t := float64(shape.Threads)
 
 	eff := c.Efficiency
 	if eff <= 0 || eff > 1 {
@@ -348,11 +399,11 @@ func (p *Partition) KernelTime(c KernelCost) sim.Duration {
 		share := cfg.MemBandwidthBps * t / float64(cfg.TotalThreads())
 		locality := 1.0
 		if c.CacheSensitive && cfg.CacheAffinityBonus > 0 && cfg.UsableCores() > 1 {
-			concentration := 1 - float64(p.coresSpanned-1)/float64(cfg.UsableCores()-1)
+			concentration := 1 - float64(shape.CoresSpanned-1)/float64(cfg.UsableCores()-1)
 			locality = 1 + cfg.CacheAffinityBonus*concentration
 		}
 		if c.FitBonus > 0 && c.WorkingSetBytes > 0 && cfg.L2PerCoreBytes > 0 {
-			l2 := float64(p.coresSpanned) * float64(cfg.L2PerCoreBytes)
+			l2 := float64(shape.CoresSpanned) * float64(cfg.L2PerCoreBytes)
 			fit := l2 / float64(c.WorkingSetBytes)
 			if fit > 1 {
 				fit = 1
@@ -369,14 +420,14 @@ func (p *Partition) KernelTime(c KernelCost) sim.Duration {
 	// Shared-core contention slows execution-unit-bound kernels; a
 	// memory-bound kernel's stalled threads barely notice a core
 	// neighbour, so the penalty applies to compute-dominated bodies.
-	if p.sharesCore && computeSec >= memSec {
+	if shape.SharesCore && computeSec >= memSec {
 		body *= cfg.ContentionPenalty
 	}
 
 	dur := sim.Duration(cfg.KernelLaunchNs) +
-		sim.Duration(cfg.StreamMgmtNsPerPartition)*sim.Duration(len(p.dev.parts)) +
+		sim.Duration(cfg.StreamMgmtNsPerPartition)*sim.Duration(partitions) +
 		sim.Duration(c.SerialNs) +
-		p.AllocTime(c) +
+		cfg.AllocTimeOn(c, shape.Threads) +
 		sim.DurationOf(body)
 	return dur
 }
@@ -384,10 +435,16 @@ func (p *Partition) KernelTime(c KernelCost) sim.Duration {
 // AllocTime reports the per-launch temporary-allocation cost of c on
 // this partition (part of KernelTime; exposed for analysis).
 func (p *Partition) AllocTime(c KernelCost) sim.Duration {
+	return p.dev.cfg.AllocTimeOn(c, p.threads)
+}
+
+// AllocTimeOn is the pure form of AllocTime: the per-launch
+// temporary-allocation cost of c on a partition of threads threads.
+func (cfg Config) AllocTimeOn(c KernelCost, threads int) sim.Duration {
 	if c.AllocBytesPerThread <= 0 {
 		return 0
 	}
-	ns := float64(c.AllocBytesPerThread) * float64(p.threads) * p.dev.cfg.AllocNsPerByte
+	ns := float64(c.AllocBytesPerThread) * float64(threads) * cfg.AllocNsPerByte
 	return sim.DurationOf(ns / 1e9)
 }
 

@@ -30,6 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-duplex", "ablation-contention", "ablation-alloc",
 		"ext-hotspot-pipe", "ext-multimic", "ext-taxonomy",
 		"fairness", "imbalance",
+		"modelval", "guided",
 	}
 	ids := IDs()
 	got := map[string]bool{}

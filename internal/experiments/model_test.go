@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// cell parses one numeric table cell.
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("%s[%d][%d] = %q is not numeric: %v", tab.ID, row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+// The validation study covers every app and keeps the pipeline apps'
+// mean error in single digits; CF is the stated outlier.
+func TestModelValShape(t *testing.T) {
+	tab := gen(t, "modelval")
+	if len(tab.Rows) != 7 {
+		t.Fatalf("modelval has %d rows, want one per app (7)", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		app := row[0]
+		if points := cell(t, tab, i, 1); points <= 0 {
+			t.Errorf("%s: empty validation plane", app)
+		}
+		mean := cell(t, tab, i, 2)
+		limit := 10.0
+		if app == "cf" {
+			limit = 40.0
+		}
+		if mean > limit {
+			t.Errorf("%s: mean error %.1f%% exceeds %.0f%%", app, mean, limit)
+		}
+	}
+}
+
+// The guided search must be the cheapest method and land within 5% of
+// the exhaustive optimum; every method's gap is non-negative by
+// construction.
+func TestGuidedShape(t *testing.T) {
+	tab := gen(t, "guided")
+	if len(tab.Rows) != 4 {
+		t.Fatalf("guided has %d rows, want 4 methods", len(tab.Rows))
+	}
+	exEvals := cell(t, tab, 0, 1)
+	gdEvals := cell(t, tab, 3, 1)
+	if gdEvals*4 > exEvals {
+		t.Errorf("guided evaluated %.0f of %.0f points — not a ≥4x reduction", gdEvals, exEvals)
+	}
+	for i := range tab.Rows {
+		gap := cell(t, tab, i, 5)
+		if gap < -1e-9 {
+			t.Errorf("%s: negative gap %.2f%% — exhaustive row is not the optimum", tab.Rows[i][0], gap)
+		}
+	}
+	if gap := cell(t, tab, 3, 5); gap > 5 {
+		t.Errorf("guided gap %.2f%% exceeds 5%%", gap)
+	}
+}
+
+// Both studies are deterministic: regenerating gives identical tables.
+func TestModelExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"modelval", "guided"} {
+		a, b := gen(t, id), gen(t, id)
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%s: row counts differ", id)
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if a.Rows[i][j] != b.Rows[i][j] {
+					t.Fatalf("%s: cell [%d][%d] differs: %q vs %q", id, i, j, a.Rows[i][j], b.Rows[i][j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"micstream/internal/core"
+)
+
+// Candidate is one ranked (P, T) point.
+type Candidate struct {
+	// Partitions and Tiles identify the point.
+	Partitions, Tiles int
+	// Pred is the model's estimate for it.
+	Pred Prediction
+}
+
+// Rank predicts every point of the space and returns the candidates
+// sorted by ascending predicted wall time, ties broken by (partitions,
+// tiles) so the order is deterministic.
+func (m *Model) Rank(w Workload, space core.SearchSpace) ([]Candidate, error) {
+	var out []Candidate
+	for _, p := range space.Partitions {
+		for _, t := range space.TilesFor(p) {
+			pred, err := m.Predict(w, p, t)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Candidate{Partitions: p, Tiles: t, Pred: pred})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("model: empty search space")
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pred.Wall != out[j].Pred.Wall {
+			return out[i].Pred.Wall < out[j].Pred.Wall
+		}
+		if out[i].Partitions != out[j].Partitions {
+			return out[i].Partitions < out[j].Partitions
+		}
+		return out[i].Tiles < out[j].Tiles
+	})
+	return out, nil
+}
+
+// TopK returns the k best-predicted candidates of the space (all of
+// them when k exceeds the space size).
+func (m *Model) TopK(w Workload, space core.SearchSpace, k int) ([]Candidate, error) {
+	ranked, err := m.Rank(w, space)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k], nil
+}
+
+// BestConfig returns the configuration the model predicts fastest.
+func (m *Model) BestConfig(w Workload, space core.SearchSpace) (Candidate, error) {
+	top, err := m.TopK(w, space, 1)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return top[0], nil
+}
+
+// EvalFunc adapts the model to the tuner's measurement interface: an
+// evaluation that predicts instead of simulating. Use it as the
+// predict argument of core.TuneGuided.
+func (m *Model) EvalFunc(w Workload) core.EvalFunc {
+	return func(partitions, tiles int) (float64, error) {
+		pred, err := m.Predict(w, partitions, tiles)
+		if err != nil {
+			return 0, err
+		}
+		return pred.Seconds(), nil
+	}
+}
+
+// Probe is one calibration measurement: a (P, T) point with the
+// model's raw prediction and the simulator's measurement, both in
+// seconds.
+type Probe struct {
+	// Partitions and Tiles identify the probed point.
+	Partitions, Tiles int
+	// Predicted is the uncalibrated model estimate.
+	Predicted float64
+	// Measured is the simulated wall time.
+	Measured float64
+}
+
+// Fit calibrates the model against at most probes simulated runs:
+// probe points are spread deterministically over the space (both ends
+// of each axis and evenly between), measured with eval, and the two
+// regime scale factors are set to the mean measured/predicted ratio of
+// the probes each closed form dominated. Regimes with no probe keep
+// scale 1, and a probe error leaves the model's existing calibration
+// untouched. Fit returns the probes so callers can report calibration
+// quality; scales are clamped to [0.25, 4] — a model that far off is
+// reported rather than silently stretched.
+func (m *Model) Fit(w Workload, space core.SearchSpace, eval core.EvalFunc, probes int) ([]Probe, error) {
+	type point struct{ p, t int }
+	var pts []point
+	for _, p := range space.Partitions {
+		for _, t := range space.TilesFor(p) {
+			pts = append(pts, point{p, t})
+		}
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("model: empty search space")
+	}
+	if probes < 2 {
+		probes = 2
+	}
+	if probes > len(pts) {
+		probes = len(pts)
+	}
+	// Evenly spaced indices over the (P-major, T-minor) flattening,
+	// always including both ends: the corners anchor the extremes of
+	// both regimes, the interior points the transition.
+	chosen := make([]point, 0, probes)
+	seen := map[point]bool{}
+	for i := 0; i < probes; i++ {
+		idx := i * (len(pts) - 1) / (probes - 1)
+		if pt := pts[idx]; !seen[pt] {
+			seen[pt] = true
+			chosen = append(chosen, pt)
+		}
+	}
+
+	// Probe with an uncalibrated copy so the receiver keeps its
+	// current calibration if any probe fails.
+	raw := *m
+	raw.TransferScale, raw.ComputeScale = 0, 0
+	var out []Probe
+	var tbSum, cbSum float64
+	var tbN, cbN int
+	for _, pt := range chosen {
+		pred, err := raw.Predict(w, pt.p, pt.t)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := eval(pt.p, pt.t)
+		if err != nil {
+			return nil, fmt.Errorf("model: probing P=%d T=%d: %w", pt.p, pt.t, err)
+		}
+		out = append(out, Probe{Partitions: pt.p, Tiles: pt.t, Predicted: pred.Seconds(), Measured: meas})
+		if pred.Seconds() <= 0 || meas <= 0 {
+			continue
+		}
+		ratio := meas / pred.Seconds()
+		if pred.TransferBound {
+			tbSum += ratio
+			tbN++
+		} else {
+			cbSum += ratio
+			cbN++
+		}
+	}
+	clamp := func(v float64) float64 {
+		if v < 0.25 {
+			return 0.25
+		}
+		if v > 4 {
+			return 4
+		}
+		return v
+	}
+	m.TransferScale, m.ComputeScale = 0, 0
+	if tbN > 0 {
+		m.TransferScale = clamp(tbSum / float64(tbN))
+	}
+	if cbN > 0 {
+		m.ComputeScale = clamp(cbSum / float64(cbN))
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"micstream/internal/model"
+	"micstream/internal/sim"
+)
+
+// driftJobs builds a deterministic two-phase workload whose tenant mix
+// shifts hard: tenant A dominates the first window with light jobs,
+// tenant B floods the second with jobs heavy enough to cross the
+// drift threshold.
+func driftJobs() []Job {
+	var jobs []Job
+	id := 0
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, syntheticJob(id, "A", sim.Time(i)*1_000_000, 2e8))
+		id++
+	}
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, syntheticJob(id, "B", sim.Time(40+i)*1_000_000, 4e9))
+		id++
+	}
+	return jobs
+}
+
+// The adaptive policy must re-divide the stream allocation when the
+// observed tenant mix drifts: the A-only opening plan cannot survive
+// B's heavy second phase.
+func TestAdaptiveRepartitionsOnDrift(t *testing.T) {
+	ctx := newCtx(t, 4)
+	pol := Adaptive().(*adaptive)
+	s, err := New(ctx, WithPolicy(pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(driftJobs()); err != nil {
+		t.Fatal(err)
+	}
+	if pol.plans < 2 {
+		t.Errorf("adaptive re-planned %d times, want ≥ 2 (initial plan + drift re-plan)", pol.plans)
+	}
+	if shareB := pol.planned["B"]; shareB < 0.5 {
+		t.Errorf("after the shift, B carries %.0f%% of the predicted work — final plan %v should reflect it",
+			shareB*100, pol.planned)
+	}
+}
+
+// Adaptive runs are a pure function of (platform, job list): repeated
+// runs on fresh platforms are bit-identical, including timestamps.
+// (The scenario-based determinism sweep in property_test.go covers
+// adaptive too, via Policies(); this pins the drift workload.)
+func TestAdaptiveBitIdenticalOnDriftWorkload(t *testing.T) {
+	run := func() *Result {
+		ctx := newCtx(t, 4)
+		s, err := New(ctx, WithPolicy(Adaptive()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(driftJobs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("adaptive runs are not bit-identical")
+	}
+}
+
+// A calibrated model can be injected; the policy then never builds its
+// own, so tuner and scheduler share one set of predictions.
+func TestAdaptiveWithCalibratedModel(t *testing.T) {
+	ctx := newCtx(t, 4)
+	cfg := ctx.Config()
+	m := model.New(cfg.Device, cfg.Link)
+	m.ComputeScale = 1.1 // pretend Fit ran
+	pol := AdaptiveWithModel(m).(*adaptive)
+	s, err := New(ctx, WithPolicy(pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(driftJobs()); err != nil {
+		t.Fatal(err)
+	}
+	if pol.m != m {
+		t.Fatal("bind replaced the injected model")
+	}
+}
+
+// The policy's model estimates rank a job list the same way the
+// scheduler's own estimator does for uniform jobs, and every stream
+// carries the tenant label while busy.
+func TestStreamTenantView(t *testing.T) {
+	ctx := newCtx(t, 2)
+	var sawTenant bool
+	probe := policyFunc(func(pending []*Pending, idle []int, v *View) (int, int) {
+		for _, tn := range v.StreamTenant {
+			if tn == "A" {
+				sawTenant = true
+			}
+		}
+		return oldest(pending), idle[0]
+	})
+	s, err := New(ctx, WithPolicy(probe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{
+		syntheticJob(0, "A", 0, 1e9),
+		syntheticJob(1, "B", 0, 1e9),
+		syntheticJob(2, "B", 0, 1e9),
+	}
+	r, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawTenant {
+		t.Error("View.StreamTenant never exposed tenant A while its job was in flight")
+	}
+	if len(r.Jobs) != 3 {
+		t.Fatalf("want 3 outcomes, got %d", len(r.Jobs))
+	}
+}
+
+// policyFunc adapts a function to the Policy interface for probes.
+type policyFunc func(pending []*Pending, idle []int, v *View) (int, int)
+
+func (policyFunc) Name() string { return "probe" }
+
+func (f policyFunc) Pick(pending []*Pending, idle []int, v *View) (int, int) {
+	return f(pending, idle, v)
+}

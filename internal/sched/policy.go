@@ -118,16 +118,17 @@ func Policies() []string {
 	return names
 }
 
-// policyFactories maps names to fresh-instance constructors; RR is
-// stateful, so ByName must return a new value each call.
+// policyFactories maps names to fresh-instance constructors; RR and
+// adaptive are stateful, so ByName must return a new value each call.
 var policyFactories = map[string]func() Policy{
-	"fifo": FIFO,
-	"rr":   RoundRobin,
-	"sjf":  SJF,
+	"fifo":     FIFO,
+	"rr":       RoundRobin,
+	"sjf":      SJF,
+	"adaptive": Adaptive,
 }
 
 // ByName returns a fresh instance of a built-in policy: "fifo", "rr",
-// or "sjf".
+// "sjf", or "adaptive".
 func ByName(name string) (Policy, error) {
 	f, ok := policyFactories[name]
 	if !ok {

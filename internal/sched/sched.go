@@ -16,6 +16,14 @@
 // admission queue is non-empty and a stream is idle, a job is
 // dispatched before virtual time can advance. Policies only choose
 // *which* job and *which* stream; they cannot choose to idle.
+//
+// Four policies ship with the package: FIFO (arrival order, pack the
+// lowest idle stream), RoundRobin (arrival order, rotate placement
+// across partitions), SJF (shortest estimated job first, least-loaded
+// placement) and Adaptive (per-tenant stream shares derived from
+// model-predicted work, re-planned online when the mix drifts —
+// DESIGN.md §8). Use ByName to construct one from its CLI name, or
+// implement Policy for custom dispatch.
 package sched
 
 import (
@@ -77,6 +85,10 @@ type View struct {
 	// (device-major): streams sharing a partition contend for its
 	// cores, which is what partition-aware placement avoids.
 	StreamPartition []int
+	// StreamTenant maps each stream to the tenant of the job it is
+	// running ("" when idle) — the allocation snapshot tenant-aware
+	// policies re-balance against.
+	StreamTenant []string
 	// Partitions is the global partition count across devices.
 	Partitions int
 }
@@ -115,14 +127,20 @@ type Scheduler struct {
 	nparts     int
 
 	// Per-run state, reset by Run.
-	pending  []*Pending
-	busy     []bool
-	load     []sim.Duration
-	outcomes []JobOutcome
-	done     int
-	seq      int
-	runErr   error
+	pending      []*Pending
+	busy         []bool
+	load         []sim.Duration
+	streamTenant []string
+	outcomes     []JobOutcome
+	done         int
+	seq          int
+	runErr       error
 }
+
+// binder is implemented by policies that derive state from the
+// platform (e.g. a performance model built from the device and link
+// configs); Scheduler.Run calls it before the first dispatch.
+type binder interface{ bind(*hstreams.Context) }
 
 // New builds a scheduler over ctx.
 func New(ctx *hstreams.Context, opts ...Option) (*Scheduler, error) {
@@ -172,12 +190,16 @@ func (s *Scheduler) Run(jobs []Job) (*Result, error) {
 		}
 	}
 	n := s.ctx.NumStreams()
+	if b, ok := s.policy.(binder); ok {
+		b.bind(s.ctx)
+	}
 	if r, ok := s.policy.(resetter); ok {
 		r.reset()
 	}
 	s.pending = nil
 	s.busy = make([]bool, n)
 	s.load = make([]sim.Duration, n)
+	s.streamTenant = make([]string, n)
 	s.outcomes = make([]JobOutcome, len(jobs))
 	s.done = 0
 	s.seq = 0
@@ -242,6 +264,7 @@ func (s *Scheduler) dispatch() {
 			Now:             s.ctx.Now(),
 			StreamLoad:      append([]sim.Duration(nil), s.load...),
 			StreamPartition: append([]int(nil), s.streamPart...),
+			StreamTenant:    append([]string(nil), s.streamTenant...),
 			Partitions:      s.nparts,
 		}
 		pi, stream := s.policy.Pick(s.pending, idle, v)
@@ -265,6 +288,7 @@ func (s *Scheduler) dispatch() {
 func (s *Scheduler) start(p *Pending, stream int) {
 	idx := p.idx
 	s.busy[stream] = true
+	s.streamTenant[stream] = tenantOf(p.Job)
 	s.load[stream] += p.Est
 	s.outcomes[idx].Stream = stream
 	s.outcomes[idx].Start = s.ctx.Now()
@@ -287,6 +311,7 @@ func (s *Scheduler) start(p *Pending, stream int) {
 		s.outcomes[idx].Done = s.ctx.Now()
 		s.done++
 		s.busy[stream] = false
+		s.streamTenant[stream] = ""
 		s.dispatch()
 	})
 }

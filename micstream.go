@@ -18,7 +18,13 @@
 //     cross-stream dependencies);
 //   - Tune and the Candidate* helpers: the paper's §V-C task- and
 //     resource-granularity search with pruning heuristics;
-//   - RunExperiment: regenerates any figure of the paper's evaluation.
+//   - Model / TuneGuided: the analytic performance model that predicts
+//     wall time for any (partitions, tiles) point and prunes the
+//     search to its top candidates (DESIGN.md §8);
+//   - Scheduler / Job / WithPolicy: online multi-tenant admission onto
+//     the platform under fifo, rr, sjf or model-adaptive policies;
+//   - RunExperiment: regenerates any figure of the paper's evaluation
+//     plus the scheduler and model studies.
 //
 // Timing is virtual and exactly reproducible: performance numbers come
 // from a discrete-event model calibrated against the paper (see
