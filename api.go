@@ -3,6 +3,7 @@ package micstream
 import (
 	"io"
 
+	"micstream/internal/cluster"
 	"micstream/internal/core"
 	"micstream/internal/device"
 	"micstream/internal/experiments"
@@ -247,10 +248,184 @@ func BuildScenario(p *Platform, cfg ScenarioConfig) ([]Job, error) {
 // PatternNames lists the built-in load-imbalance patterns.
 func PatternNames() []string { return sched.Patterns() }
 
+// Multi-MIC cluster scheduling layer, re-exported from the cluster
+// package: one per-device stream scheduler per simulated coprocessor
+// behind a cluster-level admission queue with pluggable placement
+// policies (DESIGN.md §9).
+type (
+	// Cluster routes tenant-tagged jobs across the devices of a
+	// multi-MIC platform under a placement policy.
+	Cluster = cluster.Cluster
+	// ClusterJob is one unit of cluster admission: a job plus the
+	// data-placement fields (origin device, staging volume).
+	ClusterJob = cluster.Job
+	// ClusterResult is the outcome of a Cluster.Run: per-job
+	// lifecycles, per-device utilization, per-tenant accounting, and
+	// the staging traffic the placement caused.
+	ClusterResult = cluster.Result
+	// ClusterOutcome is one job's recorded lifecycle inside a
+	// ClusterResult.
+	ClusterOutcome = cluster.Outcome
+	// PlacementPolicy decides which device each job commits to; see
+	// LeastLoadedPlacement, RoundRobinPlacement, PredictedPlacement
+	// and PlaceBy.
+	PlacementPolicy = cluster.Policy
+	// DeviceView is one device's snapshot handed to a placement
+	// policy at a decision instant.
+	DeviceView = cluster.DeviceView
+	// ClusterScenarioConfig parameterizes BuildClusterScenario's
+	// synthetic cluster workloads.
+	ClusterScenarioConfig = cluster.ScenarioConfig
+	// ClusterWorkload describes a workload split across devices to
+	// the analytic model (per-device shares plus staging traffic).
+	ClusterWorkload = model.ClusterWorkload
+	// ClusterPrediction is the model's estimate of one multi-device
+	// configuration.
+	ClusterPrediction = model.ClusterPrediction
+	// ClusterEvalFunc measures one (devices, partitions, tiles)
+	// configuration for the cluster tuner.
+	ClusterEvalFunc = core.ClusterEvalFunc
+	// ClusterTuneResult is the outcome of a joint device-count and
+	// granularity search.
+	ClusterTuneResult = core.ClusterTuneResult
+)
+
+// ClusterOption configures NewCluster: the platform shape
+// (WithClusterDevices, WithClusterPartitions, WithClusterStreams) and
+// the scheduler's knobs (WithPlacement, WithClusterQueueDepth,
+// WithClusterStagingFactor, WithClusterDevicePolicy).
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	devices    int
+	partitions int
+	streams    int
+	opts       []cluster.Option
+}
+
+// WithClusterDevices sets the cluster's coprocessor count (default 2).
+func WithClusterDevices(n int) ClusterOption {
+	return func(c *clusterConfig) { c.devices = n }
+}
+
+// WithClusterPartitions sets the partitions per device (default 4).
+func WithClusterPartitions(n int) ClusterOption {
+	return func(c *clusterConfig) { c.partitions = n }
+}
+
+// WithClusterStreams sets the streams per partition (default 1).
+func WithClusterStreams(n int) ClusterOption {
+	return func(c *clusterConfig) { c.streams = n }
+}
+
+// WithPlacement selects the placement policy (default predicted).
+func WithPlacement(p PlacementPolicy) ClusterOption {
+	return func(c *clusterConfig) { c.opts = append(c.opts, cluster.WithPlacement(p)) }
+}
+
+// WithClusterQueueDepth caps each device's committed-but-undispatched
+// queue (default: the device's stream count); overflow waits in the
+// cluster queue and binds late.
+func WithClusterQueueDepth(n int) ClusterOption {
+	return func(c *clusterConfig) { c.opts = append(c.opts, cluster.WithQueueDepth(n)) }
+}
+
+// WithClusterStagingFactor overrides the off-origin staging charge
+// (default cluster.DefaultStagingFactor: the tile crosses PCIe twice).
+func WithClusterStagingFactor(f float64) ClusterOption {
+	return func(c *clusterConfig) { c.opts = append(c.opts, cluster.WithStagingFactor(f)) }
+}
+
+// WithClusterDevicePolicy sets the per-device stream-scheduling policy
+// factory (default FIFO).
+func WithClusterDevicePolicy(factory func() SchedPolicy) ClusterOption {
+	return func(c *clusterConfig) { c.opts = append(c.opts, cluster.WithDevicePolicy(factory)) }
+}
+
+// NewCluster builds a multi-MIC platform and its cluster scheduler in
+// one call: WithClusterDevices(2) × WithClusterPartitions(4) ×
+// WithClusterStreams(1) by default, predicted placement. Use
+// ClusterPlatform to reach the underlying platform (Gantt, buffers).
+func NewCluster(opts ...ClusterOption) (*Cluster, error) {
+	cfg := clusterConfig{devices: 2, partitions: 4, streams: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	p, err := NewPlatform(
+		WithDevices(cfg.devices),
+		WithPartitions(cfg.partitions),
+		WithStreamsPerPartition(cfg.streams),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(p.ctx, cfg.opts...)
+}
+
+// ClusterPlatform wraps a cluster's context as a Platform for the
+// facade's platform-level helpers (Alloc1D, Gantt, Elapsed).
+func ClusterPlatform(c *Cluster) *Platform { return &Platform{ctx: c.Context()} }
+
+// LeastLoadedPlacement routes each job to the device holding the
+// fewest jobs — the queue-depth heuristic, blind to job sizes.
+func LeastLoadedPlacement() PlacementPolicy { return cluster.LeastLoaded() }
+
+// RoundRobinPlacement rotates placement across devices.
+func RoundRobinPlacement() PlacementPolicy { return cluster.RoundRobin() }
+
+// PredictedPlacement routes each job to the device with the earliest
+// model-predicted completion, including the cross-device staging term
+// (DESIGN.md §9).
+func PredictedPlacement() PlacementPolicy { return cluster.Predicted() }
+
+// PredictedPlacementWithModel is PredictedPlacement with a
+// caller-supplied (e.g. Fit-calibrated) performance model.
+func PredictedPlacementWithModel(m *Model) PlacementPolicy {
+	return cluster.PredictedWithModel(m)
+}
+
+// StaticPlacement pins every job to one device — the baseline the
+// placement property tests bound predicted placement against.
+func StaticPlacement(dev int) PlacementPolicy { return cluster.Static(dev) }
+
+// PlaceBy returns a fresh "least-loaded", "round-robin" or
+// "predicted" placement policy.
+func PlaceBy(name string) (PlacementPolicy, error) { return cluster.ByName(name) }
+
+// PlacementNames lists the built-in placement policies.
+func PlacementNames() []string { return cluster.Policies() }
+
+// BuildClusterScenario generates a deterministic synthetic cluster
+// workload on the cluster's platform: size-spread tiled jobs, a
+// fraction device-resident, under a seeded arrival process.
+func BuildClusterScenario(c *Cluster, cfg ClusterScenarioConfig) ([]ClusterJob, error) {
+	return cluster.BuildScenario(c.Context(), cfg)
+}
+
+// SplitWorkload lifts a single-device model workload to the cluster
+// form: staging reports the bytes staged through the host per round at
+// each device count (nil = free split).
+func SplitWorkload(w ModelWorkload, staging func(devices int) int64) ClusterWorkload {
+	return model.Split(w, staging)
+}
+
+// TuneCluster searches device count and per-device (P, T) granularity
+// jointly, the multi-MIC extension of Tune.
+func TuneCluster(devices []int, space SearchSpace, eval ClusterEvalFunc) (ClusterTuneResult, error) {
+	return core.TuneCluster(devices, space, eval)
+}
+
+// TuneClusterGuided prunes the joint search with a cheap predictor
+// (e.g. Model.ClusterEvalFunc); only the topK best-predicted
+// candidates are measured.
+func TuneClusterGuided(devices []int, space SearchSpace, predict, eval ClusterEvalFunc, topK int) (ClusterTuneResult, error) {
+	return core.TuneClusterGuided(devices, space, predict, eval, topK)
+}
+
 // RunExperiment regenerates one of the paper's figures (e.g. "fig5",
 // "fig9a", "fig11", "heuristics") or one of the scheduler studies
-// ("fairness", "imbalance") and renders it to w as an aligned text
-// table.
+// ("fairness", "imbalance", "placement", "cluster-scaling") and
+// renders it to w as an aligned text table.
 func RunExperiment(id string, w io.Writer) error {
 	return runExperiment(id, w, false)
 }

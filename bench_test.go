@@ -13,6 +13,7 @@ package micstream
 import (
 	"io"
 	"testing"
+	"time"
 
 	"micstream/internal/experiments"
 )
@@ -77,6 +78,13 @@ func BenchmarkFig10fSRADTiles(b *testing.B)    { benchFigure(b, "fig10f") }
 func BenchmarkFig11MultiMIC(b *testing.B) { benchFigure(b, "fig11") }
 func BenchmarkTunerSearch(b *testing.B)   { benchFigure(b, "heuristics") }
 
+// Scheduler studies: multi-tenant fairness and the cluster placement
+// comparison (each iteration regenerates the full study grid).
+
+func BenchmarkSchedFairness(b *testing.B)     { benchFigure(b, "fairness") }
+func BenchmarkClusterPlacement(b *testing.B)  { benchFigure(b, "placement") }
+func BenchmarkClusterScalingFig(b *testing.B) { benchFigure(b, "cluster-scaling") }
+
 // Ablations of the model's load-bearing terms and extensions beyond
 // the paper (see EXPERIMENTS.md §Extensions).
 
@@ -122,6 +130,77 @@ func BenchmarkEnqueueTransfer(b *testing.B) {
 		}
 	}
 	p.Barrier()
+}
+
+// End-to-end admission throughput: how many simulated jobs per second
+// of host CPU the scheduling engines sustain. These are the
+// regression canaries for the dispatch hot paths — the virtual-time
+// results are asserted elsewhere; here only the simulator's own cost
+// is measured. CI runs them once per push (-benchtime 1x).
+
+func BenchmarkSchedAdmission(b *testing.B) {
+	jobs := 0
+	var inRun time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, err := NewPlatform(WithPartitions(4), WithStreamsPerPartition(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		scenario, err := BuildScenario(p, ScenarioConfig{Pattern: "severe", Arrival: "bursty", Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := NewScheduler(p, WithPolicy(SJFPolicy()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		start := time.Now()
+		r, err := s.Run(scenario)
+		inRun += time.Since(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += len(r.Jobs)
+	}
+	if sec := inRun.Seconds(); sec > 0 {
+		b.ReportMetric(float64(jobs)/sec, "jobs/s")
+	}
+}
+
+func BenchmarkClusterAdmission(b *testing.B) {
+	jobs := 0
+	var inRun time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := NewCluster(
+			WithClusterDevices(2),
+			WithClusterPartitions(2),
+			WithClusterStreams(2),
+			WithClusterQueueDepth(8),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scenario, err := BuildClusterScenario(c, ClusterScenarioConfig{
+			Jobs: 96, Seed: 7, Arrival: "bursty", AffinityFraction: 0.5, Origins: []int{0, 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		start := time.Now()
+		r, err := c.Run(scenario)
+		inRun += time.Since(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += len(r.Jobs)
+	}
+	if sec := inRun.Seconds(); sec > 0 {
+		b.ReportMetric(float64(jobs)/sec, "jobs/s")
+	}
 }
 
 func BenchmarkPipelineThroughput(b *testing.B) {

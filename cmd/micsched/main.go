@@ -33,7 +33,7 @@ func main() {
 	var (
 		policy     = flag.String("policy", "fifo", "scheduling policy: fifo, rr, sjf, adaptive")
 		pattern    = flag.String("pattern", "balanced", "load-imbalance pattern: balanced, mild, moderate, severe")
-		arrival    = flag.String("arrival", "bursty", "arrival process: poisson, bursty, heavytail")
+		arrival    = flag.String("arrival", "bursty", "arrival process: poisson, bursty, heavytail, diurnal, correlated")
 		seed       = flag.Uint64("seed", 1, "scenario seed")
 		scale      = flag.Int("scale", 1, "multiplier on per-tenant job counts")
 		partitions = flag.Int("partitions", 4, "device partitions")
@@ -48,6 +48,16 @@ func main() {
 		fmt.Println("policies:", micstream.PolicyNames())
 		fmt.Println("patterns:", micstream.PatternNames())
 		return
+	}
+	switch {
+	case *scale < 1:
+		usageError("-scale must be positive, got %d", *scale)
+	case *partitions < 1:
+		usageError("-partitions must be positive, got %d", *partitions)
+	case *streams < 1:
+		usageError("-streams must be positive, got %d", *streams)
+	case *window <= 0:
+		usageError("-window must be positive, got %v", *window)
 	}
 
 	p, err := micstream.NewPlatform(
@@ -102,6 +112,12 @@ func main() {
 		}
 		tw.Flush()
 	}
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "micsched: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -70,3 +70,48 @@ func ExampleCandidatePartitions() {
 	fmt.Println(micstream.CandidatePartitions(micstream.Xeon31SP()))
 	// Output: [1 2 4 7 8 14 28 56]
 }
+
+// Route device-resident jobs across two MICs with the model-driven
+// placement policy: the first job runs on its home device for free,
+// and balancing the other two across the cluster pays the staged
+// transfer both times — predicted placement charges that price into
+// its scores before committing. Virtual time is deterministic, so the
+// output is stable.
+func ExampleNewCluster() {
+	c, err := micstream.NewCluster(
+		micstream.WithClusterDevices(2),
+		micstream.WithClusterPartitions(1),
+	)
+	if err != nil {
+		panic(err)
+	}
+	p := micstream.ClusterPlatform(c)
+	buf := micstream.AllocVirtual(p, "tiles", 3<<20, 1)
+	job := func(id, origin int) micstream.ClusterJob {
+		return micstream.ClusterJob{
+			ID: id,
+			Tasks: []*micstream.Task{{
+				ID:         0,
+				H2D:        []micstream.TransferSpec{micstream.Xfer(buf, id<<20, 1<<20)},
+				Cost:       micstream.KernelCost{Name: "work", Flops: 5e9},
+				D2H:        []micstream.TransferSpec{micstream.Xfer(buf, id<<20, 1<<20)},
+				StreamHint: -1,
+			}},
+			Origin:       origin,
+			StagingBytes: 1 << 20,
+		}
+	}
+	r, err := c.Run([]micstream.ClusterJob{job(0, 0), job(1, 0), job(2, 1)})
+	if err != nil {
+		panic(err)
+	}
+	for _, o := range r.Jobs {
+		fmt.Printf("job %d -> device %d (staged %v)\n", o.ID, o.Device, o.Staged)
+	}
+	fmt.Printf("placement %s, %d staged, makespan %v\n", r.Placement, r.StagedJobs, r.Makespan)
+	// Output:
+	// job 0 -> device 0 (staged false)
+	// job 1 -> device 1 (staged true)
+	// job 2 -> device 0 (staged true)
+	// placement predicted, 2 staged, makespan 11.218ms
+}

@@ -1,11 +1,15 @@
 // Multimic: one streamed code, several coprocessors (the paper's §VI).
 //
 // The same bag of independent tiled tasks runs unmodified on one and
-// on two simulated MICs — the runtime enumerates streams across all
-// devices, so the application only changes the platform option. The
-// example also shows why scaling is sub-linear when tasks share data:
-// a producer/consumer chain across devices must stage tiles through
-// the host.
+// on two simulated MICs — first through the raw platform (RunTasks
+// spreading tasks round-robin over every device's streams), then
+// through the cluster scheduler, which places whole jobs per device
+// under a placement policy. Both paths share one facade: the tasks are
+// identical, only the admission layer differs. The cluster run also
+// shows why scaling is sub-linear when data has a home device: jobs
+// placed off their origin stage tiles through the host, and the two
+// placement policies are printed side by side to show the predicted
+// policy spending less on staging than the load-blind baseline.
 //
 //	go run ./examples/multimic
 package main
@@ -23,8 +27,28 @@ const (
 	tileWork = 6e9
 )
 
-// independent runs `tiles` fully independent tasks on n devices.
-func independent(devices int) micstream.Duration {
+// task builds one independent tiled offload unit over buf. Sizes are
+// heterogeneous — every fourth tile carries 4× the work, like the
+// uneven trailing blocks of a factorization — which is what separates
+// count-based from time-based placement below.
+func task(id int, buf *micstream.Buffer) *micstream.Task {
+	work := tileWork
+	if id%4 == 0 {
+		work *= 4
+	}
+	return &micstream.Task{
+		ID:         id,
+		H2D:        []micstream.TransferSpec{micstream.Xfer(buf, id*tileMB<<20, tileMB<<20)},
+		Cost:       micstream.KernelCost{Name: "work", Flops: work, Efficiency: 0.5},
+		D2H:        []micstream.TransferSpec{micstream.Xfer(buf, id*tileMB<<20, tileMB<<20)},
+		StreamHint: -1,
+	}
+}
+
+// raw runs the bag through RunTasks on n devices — the paper's path:
+// the runtime enumerates streams across all devices, the application
+// only changes the platform option.
+func raw(devices int) micstream.Duration {
 	p, err := micstream.NewPlatform(
 		micstream.WithDevices(devices),
 		micstream.WithPartitions(4),
@@ -35,13 +59,7 @@ func independent(devices int) micstream.Duration {
 	buf := micstream.AllocVirtual(p, "data", tiles*tileMB<<20, 1)
 	var tasks []*micstream.Task
 	for t := 0; t < tiles; t++ {
-		tasks = append(tasks, &micstream.Task{
-			ID:         t,
-			H2D:        []micstream.TransferSpec{micstream.Xfer(buf, t*tileMB<<20, tileMB<<20)},
-			Cost:       micstream.KernelCost{Name: "work", Flops: tileWork, Efficiency: 0.5},
-			D2H:        []micstream.TransferSpec{micstream.Xfer(buf, t*tileMB<<20, tileMB<<20)},
-			StreamHint: -1,
-		})
+		tasks = append(tasks, task(t, buf))
 	}
 	res, err := micstream.RunTasks(p, tasks, 0)
 	if err != nil {
@@ -50,55 +68,63 @@ func independent(devices int) micstream.Duration {
 	return res.Wall
 }
 
-// chained runs a dependency chain that zig-zags between devices, so
-// every hop stages its tile through the host (D2H + H2D) — the extra
-// traffic the paper blames for sub-2x multi-MIC scaling.
-func chained(devices int) micstream.Duration {
-	p, err := micstream.NewPlatform(
-		micstream.WithDevices(devices),
-		micstream.WithPartitions(4),
+// scheduled runs the same bag as cluster jobs, each tile resident on
+// its home device (tile t lives on device t mod devices), under the
+// given placement policy: every job routed away from its home stages
+// its tile through the host first.
+func scheduled(devices int, place string) *micstream.ClusterResult {
+	pol, err := micstream.PlaceBy(place)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := micstream.NewCluster(
+		micstream.WithClusterDevices(devices),
+		micstream.WithClusterPartitions(4),
+		micstream.WithPlacement(pol),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	buf := micstream.AllocVirtual(p, "tile", tileMB<<20, 1)
-	var tasks []*micstream.Task
-	streams := p.NumStreams()
+	p := micstream.ClusterPlatform(c)
+	buf := micstream.AllocVirtual(p, "data", tiles*tileMB<<20, 1)
+	var jobs []micstream.ClusterJob
 	for t := 0; t < tiles; t++ {
-		task := &micstream.Task{
-			ID:         t,
-			Cost:       micstream.KernelCost{Name: "stage", Flops: tileWork / 8, Efficiency: 0.5},
-			D2H:        []micstream.TransferSpec{micstream.Xfer(buf, 0, buf.Len())},
-			StreamHint: (t * streams / tiles) % streams, // walk across devices
-		}
-		if t == 0 {
-			task.H2D = []micstream.TransferSpec{micstream.Xfer(buf, 0, buf.Len())}
-		} else {
-			task.DependsOn = []int{t - 1}
-			task.H2D = []micstream.TransferSpec{micstream.XferAfter(buf, 0, buf.Len(), t-1)}
-		}
-		tasks = append(tasks, task)
+		jobs = append(jobs, micstream.ClusterJob{
+			ID:           t,
+			Tasks:        []*micstream.Task{task(t, buf)},
+			Origin:       t % devices,
+			StagingBytes: tileMB << 20,
+		})
 	}
-	res, err := micstream.RunTasks(p, tasks, 0)
+	r, err := c.Run(jobs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return res.Wall
+	return r
 }
 
 func main() {
 	fmt.Println("multi-MIC scaling with unmodified streamed code (paper §VI)")
 
-	one := independent(1)
-	two := independent(2)
-	fmt.Printf("\nindependent tasks:  1 MIC %v   2 MICs %v   speedup %.2fx (ideal 2x)\n",
+	one := raw(1)
+	two := raw(2)
+	fmt.Printf("\nraw platform, independent tasks round-robined over all streams:\n")
+	fmt.Printf("  1 MIC %v   2 MICs %v   speedup %.2fx (ideal 2x)\n",
 		one, two, one.Seconds()/two.Seconds())
 
-	c1 := chained(1)
-	c2 := chained(2)
-	fmt.Printf("dependent chain:    1 MIC %v   2 MICs %v   speedup %.2fx\n",
-		c1, c2, c1.Seconds()/c2.Seconds())
-	fmt.Println("\nthe chain gains nothing from the second device: every cross-device hop")
-	fmt.Println("stages its tile through the host, which is why Fig. 11 lands below the")
-	fmt.Println("projected 2x even for a well-partitioned factorization.")
+	fmt.Printf("\ncluster scheduler, same tasks as device-resident jobs, both placements side by side:\n")
+	fmt.Printf("  %-14s  %-12s  %-12s  %-9s  %s\n", "placement", "1 MIC", "2 MICs", "speedup", "staged")
+	for _, place := range []string{"least-loaded", "predicted"} {
+		r1 := scheduled(1, place)
+		r2 := scheduled(2, place)
+		fmt.Printf("  %-14s  %-12v  %-12v  %.2fx      %d jobs, %d MB through the host\n",
+			place, r1.Makespan, r2.Makespan,
+			r1.Makespan.Seconds()/r2.Makespan.Seconds(), r2.StagedJobs, r2.StagedBytes>>20)
+	}
+
+	fmt.Println("\nthe second MIC helps, but stays under the projected 2x: any job that")
+	fmt.Println("runs off its home device re-ships its tile over PCIe (Fig. 11's")
+	fmt.Println("shortfall). least-loaded balances job counts and stages blindly; the")
+	fmt.Println("predicted policy folds the staging price into its completion")
+	fmt.Println("estimates, paying it exactly when the backlog makes it worthwhile.")
 }

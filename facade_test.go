@@ -183,6 +183,108 @@ func TestFacadeSchedExperiments(t *testing.T) {
 	}
 }
 
+func TestFacadeCluster(t *testing.T) {
+	pol, err := PlaceBy("predicted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(
+		WithClusterDevices(2),
+		WithClusterPartitions(2),
+		WithClusterStreams(2),
+		WithPlacement(pol),
+		WithClusterQueueDepth(4),
+		WithClusterStagingFactor(2),
+		WithClusterDevicePolicy(FIFOPolicy),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := BuildClusterScenario(c, ClusterScenarioConfig{
+		Seed: 9, AffinityFraction: 0.5, Origins: []int{0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Jobs) != 48 {
+		t.Fatalf("completed %d jobs, want 48", len(r.Jobs))
+	}
+	if r.Makespan <= 0 || len(r.Devices) != 2 {
+		t.Fatalf("bad cluster result: makespan %v, %d devices", r.Makespan, len(r.Devices))
+	}
+	if got := len(PlacementNames()); got != 3 {
+		t.Fatalf("PlacementNames() has %d entries, want 3", got)
+	}
+	if ClusterPlatform(c).Elapsed() <= 0 {
+		t.Fatal("cluster platform clock did not advance")
+	}
+	for _, name := range PlacementNames() {
+		if p, err := PlaceBy(name); err != nil || p.Name() != name {
+			t.Fatalf("PlaceBy(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := PlaceBy("nope"); err == nil {
+		t.Fatal("unknown placement name should error")
+	}
+	if sp := StaticPlacement(1); sp.Name() != "static-1" {
+		t.Fatalf("StaticPlacement name = %q", sp.Name())
+	}
+}
+
+func TestFacadeTuneCluster(t *testing.T) {
+	// The model picks device count and granularity jointly; a free
+	// split should prefer the largest device count, a ruinously
+	// expensive one should stay on one device.
+	m := NewModel(Xeon31SP(), DefaultLink())
+	w := UniformWorkload("bag", 64<<20, 64<<20, KernelCost{Name: "k", Flops: 4e10, Efficiency: 0.5})
+	space := SearchSpace{
+		Partitions: []int{2, 4, 8},
+		TilesFor:   func(p int) []int { return []int{4 * p} },
+	}
+	free, err := TuneCluster([]int{1, 2, 4}, space, m.ClusterEvalFunc(SplitWorkload(w, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Devices != 4 {
+		t.Fatalf("free split tuned to %d devices, want 4", free.Devices)
+	}
+	costly := SplitWorkload(w, func(devices int) int64 { return int64(devices-1) * (1 << 30) })
+	pinned, err := TuneCluster([]int{1, 2, 4}, space, m.ClusterEvalFunc(costly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Devices != 1 {
+		t.Fatalf("ruinous staging tuned to %d devices, want 1", pinned.Devices)
+	}
+	guided, err := TuneClusterGuided([]int{1, 2, 4}, space,
+		m.ClusterEvalFunc(costly), m.ClusterEvalFunc(costly), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guided.Devices != 1 || guided.Evaluations != 2 {
+		t.Fatalf("guided cluster tune = %+v, want 1 device in 2 evaluations", guided)
+	}
+}
+
+func TestFacadeClusterExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	for _, want := range []string{"placement", "cluster-scaling"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ExperimentIDs() missing %q: %v", want, ids)
+		}
+	}
+}
+
 // Admit a small multi-tenant job stream onto a two-partition platform
 // and read back the per-tenant accounting. Virtual time is
 // deterministic, so the output is stable.

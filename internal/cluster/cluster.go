@@ -1,0 +1,489 @@
+// Package cluster is the model-driven multi-MIC scheduler: one
+// per-device stream scheduler (internal/sched) per simulated
+// coprocessor, behind a cluster-level admission queue that routes each
+// arriving job to a device under a pluggable placement policy.
+//
+// The paper's §VI shows one streamed code scaling to several MICs but
+// landing below the 2× projection because partitioned workloads stage
+// tiles through the host (Fig. 11); the follow-up studies
+// (arXiv:1608.03044, arXiv:2003.04294) frame device placement as a
+// prediction problem — route work by predicted completion, not by
+// queue length. This package implements both sides: jobs carry a data
+// origin (the device holding their inputs) and a staging volume, a job
+// placed off its origin really pays the staged transfer on the target
+// device's link, and the "predicted" placement policy folds that
+// staging term plus the analytic model's service estimate into an
+// earliest-predicted-completion score. "least-loaded" (queue depth)
+// and "round-robin" are the load-blind baselines the placement
+// experiment compares it against.
+//
+// Admission is two-level. Each device accepts at most QueueDepth
+// committed-but-undispatched jobs; overflow waits in the cluster
+// queue, in arrival order, and is placed at the next decision instant
+// (a job arrival or any device's job completion). Placement is
+// therefore eager while devices have admission capacity — the regime
+// where policies differ — and deferred (late-binding) under
+// saturation, which preserves cluster-level work conservation: a
+// device can only idle while the cluster queue is non-empty if every
+// device is saturated, which is impossible (a saturated device has no
+// idle streams). Every decision happens at an engine event with
+// deterministic tie-breaks, so cluster runs are bit-identical across
+// repeats at a fixed seed (DESIGN.md §6, §9).
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"micstream/internal/core"
+	"micstream/internal/hstreams"
+	"micstream/internal/pcie"
+	"micstream/internal/sched"
+	"micstream/internal/sim"
+)
+
+// DefaultStagingFactor scales a job's StagingBytes into the transfer
+// volume charged on the target device's link when the job runs off its
+// origin device: the tile crosses PCIe twice (D2H out of the origin,
+// H2D into the target), serialized through host memory. The value is
+// calibrated against the §VI measurements the experiments reproduce —
+// with it, the Fig. 11-style cluster-scaling table lands in the
+// paper's 1.5–1.9× band instead of the projected 2×.
+const DefaultStagingFactor = 2.0
+
+// Job is one unit of cluster admission: a tenant-tagged task list with
+// a virtual arrival time, plus the data-placement fields the placement
+// policies reason about.
+type Job struct {
+	// ID labels the job in results; it need not be unique.
+	ID int
+	// Tenant attributes the job for per-tenant accounting. Empty
+	// means "default".
+	Tenant string
+	// Arrival is the virtual time the job becomes runnable.
+	Arrival sim.Time
+	// Tasks is the job's workload; StreamHint values are overridden
+	// by the per-device scheduler's placement.
+	Tasks []*core.Task
+	// Est optionally declares the job's service-time estimate; 0
+	// means the cluster derives one from the tasks.
+	Est sim.Duration
+	// Origin is the device whose memory holds the job's inputs; -1
+	// (or any negative value) means host-resident. A job placed on a
+	// device other than its origin stages StagingBytes through the
+	// host first.
+	Origin int
+	// StagingBytes is the input volume staged through the host when
+	// the job runs off its origin device. Ignored when Origin is
+	// negative.
+	StagingBytes int64
+}
+
+// Queued is a cluster-queued job together with the bookkeeping the
+// placement policies see.
+type Queued struct {
+	// Job is the queued job.
+	Job *Job
+	// Est is the job's service-time estimate excluding staging.
+	Est sim.Duration
+	// Seq is the cluster admission sequence number.
+	Seq int
+
+	// idx is the job's outcome slot.
+	idx int
+}
+
+// Option configures a Cluster.
+type Option func(*Cluster)
+
+// WithPlacement selects the placement policy (default Predicted). The
+// policy instance must not be shared with another live cluster.
+func WithPlacement(p Policy) Option {
+	return func(c *Cluster) { c.place = p }
+}
+
+// WithDevicePolicy sets the per-device stream-scheduling policy
+// factory (default sched.FIFO); each device gets a fresh instance.
+func WithDevicePolicy(factory func() sched.Policy) Option {
+	return func(c *Cluster) { c.devPolicy = factory }
+}
+
+// WithQueueDepth caps how many committed-but-undispatched jobs each
+// device holds (default: the device's stream count). Beyond the cap,
+// jobs wait in the cluster queue and bind to a device late.
+func WithQueueDepth(n int) Option {
+	return func(c *Cluster) { c.depth = n }
+}
+
+// WithStagingFactor overrides DefaultStagingFactor.
+func WithStagingFactor(f float64) Option {
+	return func(c *Cluster) { c.stagingFactor = f }
+}
+
+// Cluster routes jobs across the devices of one context. A cluster
+// may execute several Run calls sequentially; each drains completely
+// before returning.
+type Cluster struct {
+	ctx           *hstreams.Context
+	scheds        []*sched.Scheduler
+	place         Policy
+	devPolicy     func() sched.Policy
+	depth         int
+	stagingFactor float64
+
+	stagingBuf *hstreams.Buffer
+
+	// Per-run state, reset by Run.
+	queue       []*Queued
+	outcomes    []Outcome
+	submitted   [][]int // device → per-device outcome index → cluster index
+	runFlops    float64
+	done        int
+	seq         int
+	runErr      error
+	afterChange func() // test hook: runs after every dispatch loop
+}
+
+// New builds a cluster over every device of ctx: one embedded
+// per-device scheduler owning that device's streams, plus the
+// cluster-level admission queue.
+func New(ctx *hstreams.Context, opts ...Option) (*Cluster, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("cluster: nil context")
+	}
+	c := &Cluster{
+		ctx:           ctx,
+		devPolicy:     sched.FIFO,
+		stagingFactor: DefaultStagingFactor,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.place == nil {
+		c.place = Predicted()
+	}
+	if c.devPolicy == nil {
+		return nil, fmt.Errorf("cluster: nil device policy factory")
+	}
+	if c.stagingFactor < 0 {
+		return nil, fmt.Errorf("cluster: negative staging factor %g", c.stagingFactor)
+	}
+	cfg := ctx.Config()
+	perDev := cfg.Partitions * cfg.StreamsPerPartition
+	if c.depth == 0 {
+		c.depth = perDev
+	}
+	if c.depth < 1 {
+		return nil, fmt.Errorf("cluster: queue depth %d must be positive", c.depth)
+	}
+	for d := 0; d < ctx.NumDevices(); d++ {
+		ids := make([]int, perDev)
+		for i := range ids {
+			ids[i] = d*perDev + i
+		}
+		s, err := sched.New(ctx, sched.WithPolicy(c.devPolicy()), sched.WithStreams(ids...))
+		if err != nil {
+			return nil, err
+		}
+		dev := d
+		s.SetOnDone(func(o sched.JobOutcome) { c.jobDone(dev, o) })
+		c.scheds = append(c.scheds, s)
+	}
+	if len(c.scheds) == 0 {
+		return nil, fmt.Errorf("cluster: context has no devices")
+	}
+	if b, ok := c.place.(clusterBinder); ok {
+		b.bind(c)
+	}
+	return c, nil
+}
+
+// Context returns the underlying platform context.
+func (c *Cluster) Context() *hstreams.Context { return c.ctx }
+
+// NumDevices reports the cluster's device count.
+func (c *Cluster) NumDevices() int { return len(c.scheds) }
+
+// Placement returns the cluster's placement policy.
+func (c *Cluster) Placement() Policy { return c.place }
+
+// Scheduler returns device d's embedded stream scheduler (for
+// inspection; mutating it mid-run corrupts the cluster).
+func (c *Cluster) Scheduler(d int) *sched.Scheduler { return c.scheds[d] }
+
+// link returns the PCIe model shared by the cluster's links (every
+// device link is configured identically).
+func (c *Cluster) link() pcie.Config { return c.ctx.Config().Link }
+
+// stagingCharge converts a job's staging volume into the byte count
+// actually transferred on the target link.
+func (c *Cluster) stagingCharge(bytes int64) int64 {
+	return int64(math.Ceil(float64(bytes) * c.stagingFactor))
+}
+
+// stagingTime is the modeled link occupancy of an off-origin
+// placement: the scaled volume at link rate plus one setup latency.
+func (c *Cluster) stagingTime(bytes int64) sim.Duration {
+	charged := c.stagingCharge(bytes)
+	if charged <= 0 {
+		return 0
+	}
+	return c.link().TransferTime(charged)
+}
+
+// ensureStaging returns the scratch buffer staged transfers move
+// through, growing it when a job needs more than any before. The
+// buffer carries real backing only on functional contexts.
+func (c *Cluster) ensureStaging(n int) *hstreams.Buffer {
+	if n < 1 {
+		n = 1
+	}
+	if c.stagingBuf == nil || c.stagingBuf.Len() < n {
+		size := 1
+		for size < n {
+			size *= 2
+		}
+		if c.ctx.Config().ExecuteKernels {
+			c.stagingBuf = hstreams.Alloc1D(c.ctx, "cluster/staging", make([]byte, size))
+		} else {
+			c.stagingBuf = hstreams.AllocVirtual(c.ctx, "cluster/staging", size, 1)
+		}
+	}
+	return c.stagingBuf
+}
+
+// Run admits every job at its arrival time, places them under the
+// configured policy until all complete, and returns the per-job,
+// per-device and per-tenant accounting. Arrival times earlier than the
+// context's current virtual time clamp to it.
+func (c *Cluster) Run(jobs []Job) (*Result, error) {
+	for i := range jobs {
+		j := &jobs[i]
+		if len(j.Tasks) == 0 {
+			return nil, fmt.Errorf("cluster: job %d (tenant %q) has no tasks", j.ID, j.Tenant)
+		}
+		for k, task := range j.Tasks {
+			if task == nil {
+				return nil, fmt.Errorf("cluster: job %d (tenant %q) has nil task %d", j.ID, j.Tenant, k)
+			}
+		}
+		if j.Arrival < 0 {
+			return nil, fmt.Errorf("cluster: job %d has negative arrival %v", j.ID, j.Arrival)
+		}
+		if j.Origin >= len(c.scheds) {
+			return nil, fmt.Errorf("cluster: job %d origin device %d out of range [0,%d)", j.ID, j.Origin, len(c.scheds))
+		}
+		if j.StagingBytes < 0 {
+			return nil, fmt.Errorf("cluster: job %d has negative staging volume %d", j.ID, j.StagingBytes)
+		}
+	}
+	for _, s := range c.scheds {
+		s.Reset()
+	}
+	if b, ok := c.place.(clusterBinder); ok {
+		b.bind(c)
+	}
+	if r, ok := c.place.(resetter); ok {
+		r.reset()
+	}
+	c.queue = nil
+	c.outcomes = make([]Outcome, len(jobs))
+	c.submitted = make([][]int, len(c.scheds))
+	c.runFlops = 0
+	for i := range jobs {
+		for _, t := range jobs[i].Tasks {
+			if !t.TransferOnly {
+				c.runFlops += t.Cost.Flops
+			}
+		}
+	}
+	c.done = 0
+	c.seq = 0
+	c.runErr = nil
+
+	eng := c.ctx.Engine()
+	runStart := eng.Now()
+	for i := range jobs {
+		job := &jobs[i]
+		idx := i
+		at := job.Arrival
+		if at < runStart {
+			at = runStart
+		}
+		eng.At(at, func() { c.admit(job, idx) })
+	}
+	eng.Run()
+	if c.runErr == nil {
+		for _, s := range c.scheds {
+			if err := s.Err(); err != nil {
+				c.runErr = err
+				break
+			}
+		}
+	}
+	if c.runErr != nil {
+		return nil, c.runErr
+	}
+	if c.done != len(jobs) {
+		return nil, fmt.Errorf("cluster: internal error: %d of %d jobs completed", c.done, len(jobs))
+	}
+	return c.summarize(runStart), nil
+}
+
+// admit enqueues one arriving job and runs the placement loop.
+func (c *Cluster) admit(job *Job, idx int) {
+	if c.runErr != nil {
+		return
+	}
+	est := job.Est
+	if est <= 0 {
+		est = c.scheds[0].Estimate(job.Tasks)
+	}
+	c.outcomes[idx] = Outcome{
+		Index:   idx,
+		ID:      job.ID,
+		Tenant:  tenantOf(job),
+		Arrival: c.ctx.Now(),
+		Est:     est,
+		Device:  -1,
+		Stream:  -1,
+	}
+	c.queue = append(c.queue, &Queued{Job: job, Est: est, Seq: c.seq, idx: idx})
+	c.seq++
+	c.dispatch()
+}
+
+// views snapshots every device for the placement policy. Policies get
+// fresh copies each decision — a mutating implementation cannot
+// corrupt the cluster.
+func (c *Cluster) views() []DeviceView {
+	now := c.ctx.Now()
+	out := make([]DeviceView, len(c.scheds))
+	for d, s := range c.scheds {
+		out[d] = DeviceView{
+			Device:       d,
+			Streams:      s.NumStreams(),
+			Idle:         s.NumStreams() - s.InFlight(),
+			Queued:       s.QueueDepth(),
+			Backlog:      s.PendingBacklog(),
+			EarliestFree: s.EarliestFree(),
+			Now:          now,
+		}
+	}
+	return out
+}
+
+// dispatch places cluster-queued jobs onto devices with admission
+// capacity, oldest job first, until the queue or the capacity runs
+// out — the cluster-level work-conservation loop: after it returns, a
+// non-empty queue implies every device is saturated (full committed
+// queue, hence no idle streams).
+func (c *Cluster) dispatch() {
+	for len(c.queue) > 0 && c.runErr == nil {
+		all := c.views()
+		eligible := make([]DeviceView, 0, len(all))
+		for _, v := range all {
+			if v.Queued < c.depth {
+				eligible = append(eligible, v)
+			}
+		}
+		if len(eligible) == 0 {
+			break
+		}
+		q := c.queue[0]
+		pick := c.place.Place(q, eligible)
+		if pick < 0 {
+			// The policy deferred placement (a pinning policy whose
+			// target is saturated); stop until the next instant.
+			break
+		}
+		if pick >= len(eligible) {
+			c.runErr = fmt.Errorf("cluster: policy %s picked device index %d out of range [0,%d)",
+				c.place.Name(), pick, len(eligible))
+			break
+		}
+		c.queue = c.queue[1:]
+		c.route(q, eligible[pick].Device)
+	}
+	if c.afterChange != nil && c.runErr == nil {
+		c.afterChange()
+	}
+}
+
+// route commits one job to a device: charges the staging transfer when
+// the job runs off its origin, submits to the device's scheduler, and
+// records the placement.
+func (c *Cluster) route(q *Queued, dev int) {
+	job := q.Job
+	idx := q.idx
+	o := &c.outcomes[idx]
+	o.Device = dev
+	o.Placed = c.ctx.Now()
+
+	tasks := job.Tasks
+	est := q.Est
+	if job.Origin >= 0 && job.Origin != dev && job.StagingBytes > 0 {
+		charged := c.stagingCharge(job.StagingBytes)
+		buf := c.ensureStaging(int(charged))
+		maxID := tasks[0].ID
+		for _, t := range tasks {
+			if t.ID > maxID {
+				maxID = t.ID
+			}
+		}
+		stage := &core.Task{
+			ID:           maxID + 1,
+			H2D:          []core.TransferSpec{core.Xfer(buf, 0, int(charged))},
+			StreamHint:   -1,
+			TransferOnly: true,
+		}
+		// The stage task leads the job on its (single) stream, so
+		// FIFO order delays every real task behind the staged bytes.
+		tasks = append([]*core.Task{stage}, tasks...)
+		o.Staged = true
+		o.StagedBytes = charged
+		o.StagingEst = c.stagingTime(job.StagingBytes)
+		est += o.StagingEst
+	}
+
+	sjob := sched.Job{ID: job.ID, Tenant: job.Tenant, Tasks: tasks, Est: est}
+	si, err := c.scheds[dev].Submit(&sjob)
+	if err != nil {
+		c.runErr = fmt.Errorf("cluster: job %d on device %d: %w", job.ID, dev, err)
+		return
+	}
+	if si != len(c.submitted[dev]) {
+		c.runErr = fmt.Errorf("cluster: internal error: device %d outcome index %d, want %d", dev, si, len(c.submitted[dev]))
+		return
+	}
+	c.submitted[dev] = append(c.submitted[dev], idx)
+}
+
+// jobDone records a completion reported by a per-device scheduler and
+// re-enters the placement loop: a drained stream may have opened
+// admission capacity for a cluster-queued job.
+func (c *Cluster) jobDone(dev int, o sched.JobOutcome) {
+	if c.runErr != nil {
+		return
+	}
+	if o.Index >= len(c.submitted[dev]) {
+		c.runErr = fmt.Errorf("cluster: internal error: device %d reported unknown outcome %d", dev, o.Index)
+		return
+	}
+	idx := c.submitted[dev][o.Index]
+	out := &c.outcomes[idx]
+	out.Stream = o.Stream
+	out.Start = o.Start
+	out.Done = o.Done
+	c.done++
+	c.dispatch()
+}
+
+// tenantOf returns the job's tenant label, defaulting empty to
+// "default".
+func tenantOf(j *Job) string {
+	if j.Tenant == "" {
+		return "default"
+	}
+	return j.Tenant
+}

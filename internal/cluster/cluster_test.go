@@ -1,0 +1,436 @@
+package cluster
+
+import (
+	"testing"
+
+	"micstream/internal/core"
+	"micstream/internal/device"
+	"micstream/internal/hstreams"
+	"micstream/internal/model"
+	"micstream/internal/sim"
+)
+
+// newCtx builds a timing-only multi-device platform.
+func newCtx(t *testing.T, devices, partitions, streams int) *hstreams.Context {
+	t.Helper()
+	ctx, err := hstreams.Init(hstreams.Config{
+		Devices:             devices,
+		Partitions:          partitions,
+		StreamsPerPartition: streams,
+		Trace:               true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// syntheticJob builds a one-task compute job.
+func syntheticJob(id int, tenant string, arrival sim.Time, flops float64) Job {
+	return Job{
+		ID:      id,
+		Tenant:  tenant,
+		Arrival: arrival,
+		Tasks: []*core.Task{{
+			ID:         0,
+			Cost:       device.KernelCost{Name: "synthetic", Flops: flops},
+			StreamHint: -1,
+		}},
+		Origin: -1,
+	}
+}
+
+func TestClusterBasics(t *testing.T) {
+	ctx := newCtx(t, 2, 2, 1)
+	c, err := New(ctx, WithPlacement(LeastLoaded()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDevices() != 2 {
+		t.Fatalf("NumDevices = %d, want 2", c.NumDevices())
+	}
+	var jobs []Job
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, syntheticJob(i, string(rune('A'+i%3)), sim.Time(i)*sim.Time(sim.Millisecond)/4, 5e8))
+	}
+	r, err := c.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Jobs) != len(jobs) {
+		t.Fatalf("got %d outcomes, want %d", len(r.Jobs), len(jobs))
+	}
+	devJobs := 0
+	for _, o := range r.Jobs {
+		if o.Device < 0 || o.Device >= 2 {
+			t.Errorf("job %d ran on invalid device %d", o.ID, o.Device)
+		}
+		if o.Stream < 0 || o.Stream >= ctx.NumStreams() {
+			t.Errorf("job %d ran on invalid stream %d", o.ID, o.Stream)
+		}
+		// The stream must belong to the recorded device.
+		if got := ctx.Stream(o.Stream).DeviceIndex(); got != o.Device {
+			t.Errorf("job %d: stream %d is on device %d, outcome says %d", o.ID, o.Stream, got, o.Device)
+		}
+		if o.Placed < o.Arrival || o.Start < o.Placed || o.Done <= o.Start {
+			t.Errorf("job %d has inverted lifecycle %v/%v/%v/%v", o.ID, o.Arrival, o.Placed, o.Start, o.Done)
+		}
+		if o.Staged {
+			t.Errorf("host-resident job %d should not stage", o.ID)
+		}
+	}
+	for _, ds := range r.Devices {
+		devJobs += ds.Jobs
+		if ds.Jobs > 0 && ds.Utilization <= 0 {
+			t.Errorf("device %d ran %d jobs but reports zero utilization", ds.Device, ds.Jobs)
+		}
+	}
+	if devJobs != len(jobs) {
+		t.Errorf("device job counts sum to %d, want %d", devJobs, len(jobs))
+	}
+	// Both devices must participate: 12 back-to-back jobs cannot fit
+	// on one device's 2 streams without idling the other.
+	if r.Device(0).Jobs == 0 || r.Device(1).Jobs == 0 {
+		t.Errorf("expected both devices used, got %d/%d", r.Device(0).Jobs, r.Device(1).Jobs)
+	}
+	if len(r.Tenants) != 3 {
+		t.Fatalf("got %d tenants, want 3", len(r.Tenants))
+	}
+	if r.Makespan <= 0 || r.GFlops <= 0 {
+		t.Errorf("makespan %v / GFlops %v should be positive", r.Makespan, r.GFlops)
+	}
+	if r.Tenant("A") == nil || r.Tenant("nope") != nil {
+		t.Error("Tenant lookup misbehaves")
+	}
+	if r.Device(0) == nil || r.Device(9) != nil {
+		t.Error("Device lookup misbehaves")
+	}
+}
+
+func TestStagingChargedOffOrigin(t *testing.T) {
+	// One job whose data lives on device 1, pinned off-origin by a
+	// static policy: it must pay the staged transfer, and the same
+	// job placed on its origin must not.
+	build := func() Job {
+		j := syntheticJob(0, "t", 0, 5e8)
+		j.Origin = 1
+		j.StagingBytes = 8 << 20
+		return j
+	}
+	off, err := New(newCtx(t, 2, 2, 1), WithPlacement(Static(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOff, err := off.Run([]Job{build()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := New(newCtx(t, 2, 2, 1), WithPlacement(Static(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOn, err := on.Run([]Job{build()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rOff.Jobs[0].Staged || rOff.StagedJobs != 1 {
+		t.Fatal("off-origin placement should stage")
+	}
+	if rOn.Jobs[0].Staged || rOn.StagedJobs != 0 {
+		t.Fatal("on-origin placement should not stage")
+	}
+	if want := int64(float64(8<<20) * DefaultStagingFactor); rOff.StagedBytes != want {
+		t.Errorf("staged bytes = %d, want %d", rOff.StagedBytes, want)
+	}
+	// The staging is real simulated traffic, not an accounting
+	// fiction: the off-origin run must take longer.
+	if rOff.Makespan <= rOn.Makespan {
+		t.Errorf("off-origin makespan %v should exceed on-origin %v", rOff.Makespan, rOn.Makespan)
+	}
+}
+
+func TestPredictedAvoidsStagingWhenFree(t *testing.T) {
+	// Two idle devices, one device-resident job: predicted placement
+	// must route it home; least-loaded (tie → device 0) must not.
+	build := func() []Job {
+		j := syntheticJob(0, "t", 0, 5e8)
+		j.Origin = 1
+		j.StagingBytes = 4 << 20
+		return []Job{j}
+	}
+	pc, err := New(newCtx(t, 2, 2, 1), WithPlacement(Predicted()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := pc.Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Jobs[0].Device != 1 || rp.Jobs[0].Staged {
+		t.Errorf("predicted placed the job on device %d (staged=%v), want its origin 1 unstaged",
+			rp.Jobs[0].Device, rp.Jobs[0].Staged)
+	}
+	lc, err := New(newCtx(t, 2, 2, 1), WithPlacement(LeastLoaded()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := lc.Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Jobs[0].Device != 0 || !rl.Jobs[0].Staged {
+		t.Errorf("least-loaded placed the job on device %d (staged=%v), want the load-blind 0 staged",
+			rl.Jobs[0].Device, rl.Jobs[0].Staged)
+	}
+}
+
+func TestPredictedCalibrationMovesPlacement(t *testing.T) {
+	// The predicted policy must price staging through its model, so a
+	// calibrated TransferScale changes the stage-or-wait decision: a
+	// blocker occupies the job's home device, and the device-resident
+	// job either crosses to the idle device (staging looks cheap) or
+	// waits at home (staging looks ruinous).
+	run := func(ts float64) *Result {
+		ctx := newCtx(t, 2, 1, 1)
+		cfg := ctx.Config()
+		m := model.New(cfg.Device, cfg.Link)
+		m.TransferScale = ts
+		c, err := New(ctx, WithPlacement(PredictedWithModel(m)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocker := syntheticJob(0, "t", 0, 4e9)
+		blocker.Origin = 1
+		blocker.StagingBytes = 8 << 20
+		affine := syntheticJob(1, "t", sim.Time(sim.Microsecond), 1e8)
+		affine.Origin = 1
+		affine.StagingBytes = 8 << 20
+		r, err := c.Run([]Job{blocker, affine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Jobs[0].Device != 1 {
+			t.Fatalf("blocker placed on device %d, want its origin 1", r.Jobs[0].Device)
+		}
+		return r
+	}
+	cheap := run(0.25)
+	if cheap.Jobs[1].Device != 0 || !cheap.Jobs[1].Staged {
+		t.Errorf("cheap staging: job on device %d (staged %v), want crossing to 0",
+			cheap.Jobs[1].Device, cheap.Jobs[1].Staged)
+	}
+	costly := run(4)
+	if costly.Jobs[1].Device != 1 || costly.Jobs[1].Staged {
+		t.Errorf("costly staging: job on device %d (staged %v), want waiting at home 1",
+			costly.Jobs[1].Device, costly.Jobs[1].Staged)
+	}
+}
+
+func TestRoundRobinRotatesDevices(t *testing.T) {
+	ctx := newCtx(t, 3, 1, 1)
+	c, err := New(ctx, WithPlacement(RoundRobin()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, syntheticJob(i, "t", sim.Time(i)*sim.Time(100*sim.Millisecond), 1e8))
+	}
+	r, err := c.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range r.Jobs {
+		if o.Device != i%3 {
+			t.Errorf("job %d placed on device %d, want %d", i, o.Device, i%3)
+		}
+	}
+}
+
+func TestClusterQueueDefersUnderSaturation(t *testing.T) {
+	// 2 devices × 1 stream, queue depth 1: five simultaneous jobs →
+	// two dispatch, two commit to queues, the fifth waits at cluster
+	// level until a completion frees capacity (Placed > Arrival).
+	ctx := newCtx(t, 2, 1, 1)
+	c, err := New(ctx, WithQueueDepth(1), WithPlacement(LeastLoaded()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	for i := 0; i < 5; i++ {
+		jobs = append(jobs, syntheticJob(i, "t", 0, 5e8))
+	}
+	r, err := c.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deferred := 0
+	for _, o := range r.Jobs {
+		if o.PlaceWait() > 0 {
+			deferred++
+		}
+	}
+	if deferred == 0 {
+		t.Fatal("saturated cluster should defer at least one placement")
+	}
+}
+
+func TestClusterSequentialRunsCompose(t *testing.T) {
+	ctx := newCtx(t, 2, 1, 1)
+	c, err := New(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c.Run([]Job{syntheticJob(0, "a", 0, 1e8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Run([]Job{syntheticJob(1, "a", 0, 1e8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Jobs[0].Arrival < r1.Jobs[0].Done {
+		t.Fatalf("second run admitted at %v, before first run finished at %v",
+			r2.Jobs[0].Arrival, r1.Jobs[0].Done)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	ctx := newCtx(t, 2, 1, 1)
+	if _, err := New(nil); err == nil {
+		t.Error("nil context should error")
+	}
+	if _, err := New(ctx, WithQueueDepth(-1)); err == nil {
+		t.Error("negative queue depth should error")
+	}
+	if _, err := New(ctx, WithStagingFactor(-1)); err == nil {
+		t.Error("negative staging factor should error")
+	}
+	if _, err := New(ctx, WithDevicePolicy(nil)); err == nil {
+		t.Error("nil device policy factory should error")
+	}
+	c, err := New(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run([]Job{{ID: 0}}); err == nil {
+		t.Error("task-less job should error")
+	}
+	if _, err := c.Run([]Job{{ID: 0, Tasks: []*core.Task{nil}}}); err == nil {
+		t.Error("nil task should error")
+	}
+	bad := syntheticJob(0, "t", -1, 1e8)
+	if _, err := c.Run([]Job{bad}); err == nil {
+		t.Error("negative arrival should error")
+	}
+	orig := syntheticJob(0, "t", 0, 1e8)
+	orig.Origin = 7
+	if _, err := c.Run([]Job{orig}); err == nil {
+		t.Error("out-of-range origin should error")
+	}
+	neg := syntheticJob(0, "t", 0, 1e8)
+	neg.Origin = 1
+	neg.StagingBytes = -1
+	if _, err := c.Run([]Job{neg}); err == nil {
+		t.Error("negative staging volume should error")
+	}
+	if _, err := ByName("random"); err == nil {
+		t.Error("unknown placement name should error")
+	}
+	for _, name := range Policies() {
+		p, err := ByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, p, err)
+		}
+	}
+}
+
+func TestBuildScenarioShapes(t *testing.T) {
+	ctx := newCtx(t, 2, 2, 1)
+	jobs, err := BuildScenario(ctx, ScenarioConfig{Seed: 7, AffinityFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 48 {
+		t.Fatalf("default scenario has %d jobs, want 48", len(jobs))
+	}
+	affine := 0
+	for _, j := range jobs {
+		if len(j.Tasks) != 2 {
+			t.Fatalf("job %d has %d tasks, want 2", j.ID, len(j.Tasks))
+		}
+		if j.Arrival < 0 {
+			t.Fatalf("job %d has negative arrival", j.ID)
+		}
+		if j.Origin >= 0 {
+			affine++
+			if j.StagingBytes <= 0 {
+				t.Fatalf("affine job %d has no staging volume", j.ID)
+			}
+		}
+	}
+	if affine == 0 || affine == len(jobs) {
+		t.Errorf("affinity fraction 0.5 produced %d/%d affine jobs", affine, len(jobs))
+	}
+	if _, err := BuildScenario(ctx, ScenarioConfig{Arrival: "uniform"}); err == nil {
+		t.Error("unknown arrival should error")
+	}
+	if _, err := BuildScenario(ctx, ScenarioConfig{Origins: []int{5}}); err == nil {
+		t.Error("out-of-range origin should error")
+	}
+	if _, err := BuildScenario(ctx, ScenarioConfig{SizeSpread: 0.5}); err == nil {
+		t.Error("size spread below 1 should error")
+	}
+}
+
+func TestScenarioEndToEndAllPlacements(t *testing.T) {
+	for _, place := range Policies() {
+		for _, arrival := range []string{"poisson", "bursty", "diurnal", "correlated"} {
+			ctx := newCtx(t, 2, 2, 2)
+			jobs, err := BuildScenario(ctx, ScenarioConfig{Seed: 3, Arrival: arrival, AffinityFraction: 0.3, Origins: []int{0, 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := ByName(place)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := New(ctx, WithPlacement(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := c.Run(jobs)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", place, arrival, err)
+			}
+			if len(r.Jobs) != len(jobs) || r.Makespan <= 0 {
+				t.Fatalf("%s/%s: incomplete run", place, arrival)
+			}
+		}
+	}
+}
+
+func TestClusterOnFunctionalContext(t *testing.T) {
+	// Functional contexts move real data; the staging scratch buffer
+	// must have real backing instead of panicking on transfer.
+	ctx, err := hstreams.Init(hstreams.Config{
+		Devices: 2, Partitions: 1, ExecuteKernels: true, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(ctx, WithPlacement(Static(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := syntheticJob(0, "t", 0, 1e8)
+	j.Origin = 1
+	j.StagingBytes = 1 << 16
+	r, err := c.Run([]Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Jobs[0].Staged {
+		t.Fatal("expected a staged run")
+	}
+}

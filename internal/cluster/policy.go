@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"micstream/internal/model"
+	"micstream/internal/sim"
+)
+
+// DeviceView is one device's snapshot at a placement instant.
+type DeviceView struct {
+	// Device is the device index.
+	Device int
+	// Streams is the device's stream count.
+	Streams int
+	// Idle is how many of those streams have no job in flight.
+	Idle int
+	// Queued is the committed-but-undispatched job count — the
+	// queue-depth signal least-loaded placement uses.
+	Queued int
+	// Backlog is the summed service estimates of the queued jobs —
+	// the time-denominated signal predicted placement uses instead.
+	Backlog sim.Duration
+	// EarliestFree is the device scheduler's estimate of its next
+	// stream-drain instant (Now when a stream is already idle).
+	EarliestFree sim.Time
+	// Now is the current virtual time.
+	Now sim.Time
+}
+
+// occupancy counts jobs the device holds, running plus queued.
+func (v DeviceView) occupancy() int { return v.Streams - v.Idle + v.Queued }
+
+// Policy chooses, at each placement opportunity, which device the
+// oldest cluster-queued job commits to. eligible is non-empty, sorted
+// by ascending device index, and contains only devices with spare
+// admission capacity. Place returns an index into eligible, or a
+// negative value to defer the job to the next decision instant (only
+// meaningful for pinning policies — deferral forfeits cluster-level
+// work conservation). Implementations may keep per-run state and must
+// be deterministic functions of their inputs and that state.
+type Policy interface {
+	// Name identifies the policy in results and CLIs.
+	Name() string
+	// Place returns an index into eligible, or negative to defer.
+	Place(q *Queued, eligible []DeviceView) int
+}
+
+// clusterBinder is implemented by policies that derive state from the
+// cluster (the platform model, the device count); New and Run call it
+// before the first placement.
+type clusterBinder interface{ bind(*Cluster) }
+
+// resetter is implemented by stateful policies; Run calls it so every
+// run starts from the same policy state.
+type resetter interface{ reset() }
+
+// leastLoaded routes to the device holding the fewest jobs (running
+// plus queued) — the classic queue-depth heuristic, blind to job sizes
+// and staging. Ties go to the lowest device index.
+type leastLoaded struct{}
+
+// LeastLoaded returns the queue-depth placement policy.
+func LeastLoaded() Policy { return leastLoaded{} }
+
+// Name implements Policy.
+func (leastLoaded) Name() string { return "least-loaded" }
+
+// Place implements Policy.
+func (leastLoaded) Place(_ *Queued, eligible []DeviceView) int {
+	best := 0
+	for i, v := range eligible[1:] {
+		if v.occupancy() < eligible[best].occupancy() {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// roundRobin rotates placement across devices with a persistent
+// cursor, ignoring load entirely.
+type roundRobin struct {
+	devices int
+	cursor  int
+}
+
+// RoundRobin returns the rotating placement policy. The cursor is
+// per-run state: Run resets it.
+func RoundRobin() Policy { return &roundRobin{} }
+
+// Name implements Policy.
+func (*roundRobin) Name() string { return "round-robin" }
+
+// bind implements clusterBinder.
+func (p *roundRobin) bind(c *Cluster) { p.devices = c.NumDevices() }
+
+// reset implements resetter.
+func (p *roundRobin) reset() { p.cursor = 0 }
+
+// Place implements Policy: the eligible device nearest at or after the
+// cursor on the device ring.
+func (p *roundRobin) Place(_ *Queued, eligible []DeviceView) int {
+	n := p.devices
+	if n < 1 {
+		n = len(eligible)
+	}
+	best, bestDist := 0, n+1
+	for i, v := range eligible {
+		d := (v.Device - p.cursor + n) % n
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	p.cursor = (eligible[best].Device + 1) % n
+	return best
+}
+
+// predicted is the model-driven policy: each eligible device is scored
+// with its predicted completion instant for the job — the device's
+// estimated ready time (drain instant plus queued backlog spread over
+// its streams), plus the cross-device staging term when the job would
+// run off its data's origin, plus the model's service prediction — and
+// the earliest predicted completion wins. The service and staging
+// terms go through the analytic model, so a Fit-calibrated model
+// (PredictedWithModel) really moves the scores: TransferScale
+// stretches the staging price, ComputeScale the kernel share. This is
+// the predicted-performance-driven configuration of arXiv:2003.04294
+// applied to placement: unlike least-loaded it sees *time*, so a long
+// job behind a short queue loses to a short queue of long jobs, and
+// unlike every load-blind heuristic it knows that moving a job off its
+// origin costs the Fig. 11 staging traffic.
+type predicted struct {
+	c          *Cluster
+	m          *model.Model
+	partitions int
+}
+
+// Predicted returns the model-driven placement policy. The
+// performance model is built from the platform's device and link
+// configs when the cluster binds the policy.
+func Predicted() Policy { return &predicted{} }
+
+// PredictedWithModel returns the predicted policy with a
+// caller-supplied (e.g. Fit-calibrated) performance model.
+func PredictedWithModel(m *model.Model) Policy { return &predicted{m: m} }
+
+// Name implements Policy.
+func (*predicted) Name() string { return "predicted" }
+
+// bind implements clusterBinder.
+func (p *predicted) bind(c *Cluster) {
+	p.c = c
+	cfg := c.Context().Config()
+	p.partitions = cfg.Partitions
+	if p.m == nil {
+		p.m = model.New(cfg.Device, cfg.Link)
+		p.m.StreamsPerPartition = cfg.StreamsPerPartition
+	}
+}
+
+// stagingEst prices an off-origin placement through the model's
+// calibrated link: the charged staging volume at transfer rate,
+// stretched by TransferScale.
+func (p *predicted) stagingEst(bytes int64) sim.Duration {
+	charged := p.c.stagingCharge(bytes)
+	if charged <= 0 {
+		return 0
+	}
+	ts := p.m.TransferScale
+	if ts <= 0 {
+		ts = 1
+	}
+	return sim.Duration(float64(p.m.Link.TransferTime(charged)) * ts)
+}
+
+// Place implements Policy.
+func (p *predicted) Place(q *Queued, eligible []DeviceView) int {
+	// A caller-declared estimate wins (it is what the backlog term is
+	// denominated in); otherwise the model predicts the service from
+	// the tasks, which is where Fit calibration enters.
+	est := q.Est
+	if q.Job.Est <= 0 {
+		est = p.m.ServiceTime(q.Job.Tasks, p.partitions)
+	}
+	best, bestScore := 0, sim.Time(0)
+	for i, v := range eligible {
+		ready := v.EarliestFree
+		if ready < v.Now {
+			ready = v.Now
+		}
+		if v.Streams > 0 {
+			ready = ready.Add(v.Backlog / sim.Duration(v.Streams))
+		}
+		score := ready.Add(est)
+		if job := q.Job; job.Origin >= 0 && job.Origin != v.Device {
+			score = score.Add(p.stagingEst(job.StagingBytes))
+		}
+		if i == 0 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// static pins every job to one device, deferring while it is
+// saturated. It exists as the baseline the placement property tests
+// compare against (the best static single-device assignment); it is
+// not work-conserving at the cluster level and is not registered with
+// ByName.
+type static struct{ dev int }
+
+// Static returns a policy that places every job on the given device.
+func Static(dev int) Policy { return static{dev: dev} }
+
+// Name implements Policy.
+func (s static) Name() string { return fmt.Sprintf("static-%d", s.dev) }
+
+// Place implements Policy.
+func (s static) Place(_ *Queued, eligible []DeviceView) int {
+	for i, v := range eligible {
+		if v.Device == s.dev {
+			return i
+		}
+	}
+	return -1
+}
+
+// Policies lists the built-in placement policy names in stable order.
+func Policies() []string {
+	names := make([]string, 0, len(policyFactories))
+	for name := range policyFactories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// policyFactories maps names to fresh-instance constructors; RR and
+// predicted are stateful, so ByName must return a new value each call.
+var policyFactories = map[string]func() Policy{
+	"least-loaded": LeastLoaded,
+	"round-robin":  RoundRobin,
+	"predicted":    Predicted,
+}
+
+// ByName returns a fresh instance of a built-in placement policy:
+// "least-loaded", "round-robin", or "predicted".
+func ByName(name string) (Policy, error) {
+	f, ok := policyFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown placement policy %q (have %v)", name, Policies())
+	}
+	return f(), nil
+}

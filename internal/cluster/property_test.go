@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"micstream/internal/sim"
+)
+
+// runScenario executes one (placement, scenario, seed) cell on a fresh
+// 2-device × 2-partition × 2-stream platform.
+func runScenario(t *testing.T, place string, cfg ScenarioConfig) *Result {
+	t.Helper()
+	ctx := newCtx(t, 2, 2, 2)
+	jobs, err := BuildScenario(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ByName(place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(ctx, WithPlacement(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// imbalanced is the scenario grid the properties quantify over: a 16×
+// size spread with a third of the jobs device-resident.
+func imbalanced(seed uint64) ScenarioConfig {
+	return ScenarioConfig{
+		Seed:             seed,
+		Arrival:          "bursty",
+		SizeSpread:       4,
+		AffinityFraction: 0.33,
+		Origins:          []int{0, 1},
+	}
+}
+
+// TestClusterBitIdenticalRepeats asserts the determinism contract for
+// every placement policy: the same configuration produces
+// byte-for-byte identical results on every run.
+func TestClusterBitIdenticalRepeats(t *testing.T) {
+	for _, place := range Policies() {
+		a := runScenario(t, place, imbalanced(99))
+		b := runScenario(t, place, imbalanced(99))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: repeated cluster runs differ", place)
+		}
+		c := runScenario(t, place, imbalanced(100))
+		if reflect.DeepEqual(a, c) {
+			t.Fatalf("%s: different seeds produced identical schedules", place)
+		}
+	}
+}
+
+// TestClusterWorkConserving asserts the cluster-level invariant for
+// the built-in (non-pinning) policies: while any job waits unplaced in
+// the cluster queue, every stream of every device is busy.
+// Reconstructed from outcomes: each job's placement-wait interval
+// [arrival, placed) must be covered by the busy intervals of all
+// streams.
+func TestClusterWorkConserving(t *testing.T) {
+	for _, place := range Policies() {
+		for _, seed := range []uint64{5, 11, 23} {
+			cfg := imbalanced(seed)
+			cfg.Jobs = 64
+			r := runScenario(t, place, cfg)
+			assertClusterWorkConserving(t, place, r, 8)
+		}
+	}
+}
+
+func assertClusterWorkConserving(t *testing.T, label string, r *Result, streams int) {
+	t.Helper()
+	type iv struct{ start, end sim.Time }
+	busy := make(map[int][]iv, streams)
+	for _, o := range r.Jobs {
+		busy[o.Stream] = append(busy[o.Stream], iv{o.Start, o.Done})
+	}
+	for s := range busy {
+		sort.Slice(busy[s], func(i, j int) bool { return busy[s][i].start < busy[s][j].start })
+	}
+	covered := func(s int, from, to sim.Time) bool {
+		at := from
+		for _, i := range busy[s] {
+			if i.start > at {
+				return false
+			}
+			if i.end > at {
+				at = i.end
+			}
+			if at >= to {
+				return true
+			}
+		}
+		return at >= to
+	}
+	violations := 0
+	for _, o := range r.Jobs {
+		if o.PlaceWait() <= 0 {
+			continue
+		}
+		for s := 0; s < streams; s++ {
+			if !covered(s, o.Arrival, o.Placed) {
+				violations++
+				if violations <= 3 {
+					t.Errorf("%s: job %d waited unplaced [%v,%v) while stream %d was idle",
+						label, o.ID, o.Arrival, o.Placed, s)
+				}
+			}
+		}
+	}
+	if violations > 3 {
+		t.Errorf("%s: %d further work-conservation violations suppressed", label, violations-3)
+	}
+}
+
+// TestPredictedWithinStaticBound asserts the placement-quality bound:
+// predicted placement never trails the best static single-device
+// assignment (every job pinned to the single best device of the same
+// platform) by more than 5% of makespan, across the imbalanced
+// scenario grid. In practice it should win outright — the second
+// device's streams are free capacity — but the bound is what the
+// policy contract states (DESIGN.md §9).
+func TestPredictedWithinStaticBound(t *testing.T) {
+	const bound = 1.05
+	for _, seed := range []uint64{1, 7, 13, 29} {
+		cfg := imbalanced(seed)
+		pred := runScenario(t, "predicted", cfg)
+
+		bestStatic := sim.Duration(0)
+		for d := 0; d < 2; d++ {
+			ctx := newCtx(t, 2, 2, 2)
+			jobs, err := BuildScenario(ctx, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := New(ctx, WithPlacement(Static(d)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := c.Run(jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bestStatic == 0 || r.Makespan < bestStatic {
+				bestStatic = r.Makespan
+			}
+		}
+		if float64(pred.Makespan) > bound*float64(bestStatic) {
+			t.Errorf("seed %d: predicted makespan %v exceeds %.0f%% of best static single-device %v",
+				seed, pred.Makespan, bound*100, bestStatic)
+		}
+	}
+}
+
+// TestEveryClusterJobRunsExactlyOnce asserts completeness under every
+// placement policy.
+func TestEveryClusterJobRunsExactlyOnce(t *testing.T) {
+	for _, place := range Policies() {
+		cfg := imbalanced(42)
+		cfg.Jobs = 60
+		r := runScenario(t, place, cfg)
+		seen := map[int]bool{}
+		for _, o := range r.Jobs {
+			if seen[o.Index] {
+				t.Fatalf("%s: job index %d appears twice", place, o.Index)
+			}
+			seen[o.Index] = true
+			if o.Done < o.Start || o.Start < o.Placed || o.Placed < o.Arrival {
+				t.Fatalf("%s: job %d has inverted lifecycle %v/%v/%v/%v",
+					place, o.ID, o.Arrival, o.Placed, o.Start, o.Done)
+			}
+		}
+		if len(seen) != 60 {
+			t.Fatalf("%s: %d unique jobs completed, want 60", place, len(seen))
+		}
+	}
+}
+
+// TestClusterQueueEmptyUnlessSaturated exercises the dispatch-loop
+// invariant directly via the test hook: after every placement loop, a
+// non-empty cluster queue implies every device has a full committed
+// queue and no idle stream.
+func TestClusterQueueEmptyUnlessSaturated(t *testing.T) {
+	ctx := newCtx(t, 2, 2, 1)
+	jobs, err := BuildScenario(ctx, imbalanced(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(ctx, WithQueueDepth(1), WithPlacement(Predicted()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := 0
+	c.afterChange = func() {
+		checks++
+		if len(c.queue) == 0 {
+			return
+		}
+		for d, s := range c.scheds {
+			if s.QueueDepth() < 1 {
+				t.Fatalf("cluster queue holds %d jobs while device %d has admission capacity", len(c.queue), d)
+			}
+			if s.InFlight() < len(s.Streams()) {
+				t.Fatalf("cluster queue holds %d jobs while device %d has an idle stream", len(c.queue), d)
+			}
+		}
+	}
+	if _, err := c.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if checks == 0 {
+		t.Fatal("dispatch hook never ran")
+	}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"micstream/internal/sched"
+	"micstream/internal/sim"
+)
+
+// Outcome records one completed cluster job.
+type Outcome struct {
+	// Index is the job's position in the Run slice.
+	Index int
+	// ID and Tenant echo the job's labels.
+	ID     int
+	Tenant string
+	// Device is where the job ran; Stream is the context-wide stream
+	// id within it.
+	Device, Stream int
+	// Arrival, Placed, Start and Done are the lifecycle instants:
+	// cluster admission, device commitment, stream dispatch, and
+	// completion of the last action. Placed equals Arrival unless the
+	// job waited in the cluster queue for admission capacity.
+	Arrival, Placed, Start, Done sim.Time
+	// Est is the service estimate excluding staging.
+	Est sim.Duration
+	// Staged reports whether the job ran off its origin device and
+	// paid the host-staging transfer; StagedBytes is the charged
+	// volume and StagingEst that transfer's modeled link occupancy.
+	Staged      bool
+	StagedBytes int64
+	StagingEst  sim.Duration
+}
+
+// Wait is the total queueing delay (dispatch minus arrival).
+func (o Outcome) Wait() sim.Duration { return o.Start.Sub(o.Arrival) }
+
+// PlaceWait is the cluster-level share of the wait: how long the job
+// sat unplaced because every device was saturated.
+func (o Outcome) PlaceWait() sim.Duration { return o.Placed.Sub(o.Arrival) }
+
+// Latency is the response time (completion minus arrival).
+func (o Outcome) Latency() sim.Duration { return o.Done.Sub(o.Arrival) }
+
+// Service is the stream occupancy (completion minus dispatch),
+// including any staging transfer.
+func (o Outcome) Service() sim.Duration { return o.Done.Sub(o.Start) }
+
+// schedOutcome converts to the sched accounting form so the tenant
+// aggregation is shared with the single-device scheduler.
+func (o Outcome) schedOutcome() sched.JobOutcome {
+	return sched.JobOutcome{
+		Index:   o.Index,
+		ID:      o.ID,
+		Tenant:  o.Tenant,
+		Stream:  o.Stream,
+		Arrival: o.Arrival,
+		Start:   o.Start,
+		Done:    o.Done,
+		Est:     o.Est,
+	}
+}
+
+// DeviceStats aggregates the jobs of one device.
+type DeviceStats struct {
+	// Device is the device index.
+	Device int
+	// Jobs is the completed-job count.
+	Jobs int
+	// Staged counts the jobs that paid a host-staging transfer.
+	Staged int
+	// Busy is the summed stream occupancy of the device's jobs.
+	Busy sim.Duration
+	// Utilization is Busy over the run's total stream-time
+	// (makespan × streams): 1 means the device never idled.
+	Utilization float64
+}
+
+// Result summarizes one cluster Run.
+type Result struct {
+	// Placement names the placement policy that routed the jobs.
+	Placement string
+	// Jobs lists every outcome in submission order.
+	Jobs []Outcome
+	// Devices lists per-device aggregates in device order.
+	Devices []DeviceStats
+	// Tenants lists per-tenant aggregates sorted by tenant label
+	// (the same accounting sched.Result carries).
+	Tenants []sched.TenantStats
+	// Makespan is the span from the run's start to the last
+	// completion.
+	Makespan sim.Duration
+	// Flops is the summed kernel work of every job's tasks; GFlops
+	// is Flops over the makespan (0 when no costs were declared).
+	Flops  float64
+	GFlops float64
+	// StagedJobs and StagedBytes total the cross-device staging the
+	// placement caused — the Fig. 11 shortfall, measured.
+	StagedJobs  int
+	StagedBytes int64
+}
+
+// Device returns the aggregate for one device, or nil.
+func (r *Result) Device(d int) *DeviceStats {
+	for i := range r.Devices {
+		if r.Devices[i].Device == d {
+			return &r.Devices[i]
+		}
+	}
+	return nil
+}
+
+// Tenant returns the aggregate for one tenant, or nil.
+func (r *Result) Tenant(name string) *sched.TenantStats {
+	for i := range r.Tenants {
+		if r.Tenants[i].Tenant == name {
+			return &r.Tenants[i]
+		}
+	}
+	return nil
+}
+
+// summarize assembles the Result from the recorded outcomes.
+func (c *Cluster) summarize(runStart sim.Time) *Result {
+	r := &Result{Placement: c.place.Name(), Jobs: c.outcomes}
+	end := runStart
+	devs := make([]DeviceStats, len(c.scheds))
+	for d := range devs {
+		devs[d].Device = d
+	}
+	schedOutcomes := make([]sched.JobOutcome, len(c.outcomes))
+	for i, o := range c.outcomes {
+		if o.Done > end {
+			end = o.Done
+		}
+		schedOutcomes[i] = o.schedOutcome()
+		ds := &devs[o.Device]
+		ds.Jobs++
+		ds.Busy += o.Service()
+		if o.Staged {
+			ds.Staged++
+			r.StagedJobs++
+			r.StagedBytes += o.StagedBytes
+		}
+	}
+	r.Makespan = end.Sub(runStart)
+	r.Tenants = sched.AggregateTenants(schedOutcomes, r.Makespan)
+	for d := range devs {
+		streams := c.scheds[d].NumStreams()
+		if r.Makespan > 0 && streams > 0 {
+			devs[d].Utilization = devs[d].Busy.Seconds() / (r.Makespan.Seconds() * float64(streams))
+		}
+	}
+	r.Devices = devs
+	r.Flops = c.runFlops
+	if r.Makespan > 0 && r.Flops > 0 {
+		r.GFlops = r.Flops / r.Makespan.Seconds() / 1e9
+	}
+	return r
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"micstream/internal/core"
+	"micstream/internal/device"
+	"micstream/internal/hstreams"
+	"micstream/internal/sched"
+	"micstream/internal/sim"
+	"micstream/internal/workload"
+)
+
+// ScenarioConfig parameterizes a synthetic cluster workload: Jobs
+// tiled-offload jobs with geometrically spread sizes, a fraction
+// carrying device affinity (their inputs resident on a device, so
+// off-origin placement stages them through the host), arriving under a
+// deterministic arrival process over a fixed window.
+type ScenarioConfig struct {
+	// Jobs is the job count (default 48).
+	Jobs int
+	// Seed drives every random draw (default 1).
+	Seed uint64
+	// Arrival is the arrival process: any name workload.Arrivals
+	// accepts (default "poisson").
+	Arrival string
+	// WindowNs is the arrival window (default 40 ms).
+	WindowNs int64
+	// Tenants is how many tenant labels jobs cycle through
+	// (default 4).
+	Tenants int
+	// TilesPerJob is how many H2D+kernel+D2H tasks one job carries
+	// (default 2).
+	TilesPerJob int
+	// KernelFlops is one job's geometric-mean kernel work
+	// (default 2e8).
+	KernelFlops float64
+	// XferBytes is one job's total per-direction transfer volume
+	// (default 1 MiB).
+	XferBytes int64
+	// SizeSpread makes job sizes heterogeneous: each job's kernel
+	// work is KernelFlops scaled by SizeSpread^u for u uniform in
+	// [-1, 1]. 0 defaults to 4 (a 16× light-to-heavy range — the mix
+	// that separates time-aware from count-based placement); 1 makes
+	// every job identical.
+	SizeSpread float64
+	// AffinityFraction is the probability a job's inputs are
+	// device-resident (Origin set, StagingBytes = XferBytes); 0 means
+	// every job is host-resident. Negative disables explicitly.
+	AffinityFraction float64
+	// Origins lists the devices affinity jobs cycle through (default
+	// {0}: all device-resident data starts on device 0, the Fig. 11
+	// shape where the first MIC holds the factorization's panels).
+	Origins []int
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Jobs == 0 {
+		c.Jobs = 48
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Arrival == "" {
+		c.Arrival = "poisson"
+	}
+	if c.WindowNs == 0 {
+		c.WindowNs = 40_000_000
+	}
+	if c.Tenants == 0 {
+		c.Tenants = 4
+	}
+	if c.TilesPerJob == 0 {
+		c.TilesPerJob = 2
+	}
+	if c.KernelFlops == 0 {
+		c.KernelFlops = 2e8
+	}
+	if c.XferBytes == 0 {
+		c.XferBytes = 1 << 20
+	}
+	if c.SizeSpread == 0 {
+		c.SizeSpread = 4
+	}
+	if len(c.Origins) == 0 {
+		c.Origins = []int{0}
+	}
+	return c
+}
+
+// BuildScenario allocates the scenario's shared virtual buffers on ctx
+// and returns the job list in arrival-offset order, ready for
+// Cluster.Run. Everything is a pure function of the configuration.
+func BuildScenario(ctx *hstreams.Context, cfg ScenarioConfig) ([]Job, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Jobs < 0 || cfg.WindowNs <= 0 || cfg.Tenants < 1 || cfg.TilesPerJob < 1 ||
+		cfg.SizeSpread < 1 || cfg.KernelFlops < 0 || cfg.XferBytes < 0 ||
+		cfg.AffinityFraction > 1 {
+		return nil, fmt.Errorf("cluster: invalid scenario config %+v", cfg)
+	}
+	for _, d := range cfg.Origins {
+		if d < 0 || d >= ctx.NumDevices() {
+			return nil, fmt.Errorf("cluster: scenario origin device %d out of range [0,%d)", d, ctx.NumDevices())
+		}
+	}
+
+	tileBytes := int(cfg.XferBytes) / cfg.TilesPerJob
+	if tileBytes < 1 {
+		tileBytes = 1
+	}
+	var in, out *hstreams.Buffer
+	if ctx.Config().ExecuteKernels {
+		in = hstreams.Alloc1D(ctx, "cluster-scenario/in", make([]byte, tileBytes))
+		out = hstreams.Alloc1D(ctx, "cluster-scenario/out", make([]byte, tileBytes))
+	} else {
+		in = hstreams.AllocVirtual(ctx, "cluster-scenario/in", tileBytes, 1)
+		out = hstreams.AllocVirtual(ctx, "cluster-scenario/out", tileBytes, 1)
+	}
+	tileFlops := cfg.KernelFlops / float64(cfg.TilesPerJob)
+
+	arrivals, err := workload.Arrivals(cfg.Arrival, cfg.Seed, cfg.Jobs,
+		float64(cfg.WindowNs)/float64(max(cfg.Jobs, 1)))
+	if err != nil {
+		return nil, err
+	}
+	rng := workload.NewRNG(cfg.Seed ^ 0x636c7573746572) // "cluster"
+	tenants := sched.TenantNames(cfg.Tenants)
+
+	jobs := make([]Job, cfg.Jobs)
+	affine := 0
+	for j := range jobs {
+		factor := math.Pow(cfg.SizeSpread, 2*rng.Float64()-1)
+		tasks := make([]*core.Task, cfg.TilesPerJob)
+		for k := range tasks {
+			tasks[k] = &core.Task{
+				ID:  k,
+				H2D: []core.TransferSpec{core.Xfer(in, 0, tileBytes)},
+				Cost: device.KernelCost{
+					Name:  fmt.Sprintf("job%d", j),
+					Flops: tileFlops * factor,
+					Bytes: float64(tileBytes) * 2,
+				},
+				D2H:        []core.TransferSpec{core.Xfer(out, 0, tileBytes)},
+				StreamHint: -1,
+			}
+		}
+		job := Job{
+			ID:      j,
+			Tenant:  tenants[j%cfg.Tenants],
+			Arrival: sim.Time(arrivals[j]),
+			Tasks:   tasks,
+			Origin:  -1,
+		}
+		if rng.Float64() < cfg.AffinityFraction {
+			job.Origin = cfg.Origins[affine%len(cfg.Origins)]
+			job.StagingBytes = cfg.XferBytes
+			affine++
+		}
+		jobs[j] = job
+	}
+	return jobs, nil
+}

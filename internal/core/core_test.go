@@ -287,6 +287,58 @@ func TestTuneFindsMinimum(t *testing.T) {
 	}
 }
 
+func TestTuneClusterJointOptimum(t *testing.T) {
+	// Synthetic landscape over (D, P, T): per-device time shrinks with
+	// D but a staging penalty grows with it, putting the optimum at
+	// D=2 rather than the largest device count; (P, T) optimum at
+	// (8, 32) as in the single-device landscape.
+	eval := func(d, p, tiles int) (float64, error) {
+		dp := float64(p - 8)
+		dt := float64(tiles - 32)
+		per := (10 + dp*dp + dt*dt/100) / float64(d)
+		staging := 3 * float64(d-1)
+		return per + staging, nil
+	}
+	space := SearchSpace{
+		Partitions: []int{2, 4, 8, 16},
+		TilesFor:   func(int) []int { return []int{8, 16, 32, 64} },
+	}
+	res, err := TuneCluster([]int{1, 2, 4}, space, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Devices != 2 || res.Partitions != 8 || res.Tiles != 32 {
+		t.Fatalf("cluster tuner found (D=%d,P=%d,T=%d), want (2,8,32)", res.Devices, res.Partitions, res.Tiles)
+	}
+	if res.Evaluations != 3*space.Size() {
+		t.Fatalf("evaluations = %d, want %d", res.Evaluations, 3*space.Size())
+	}
+
+	// The guided search with a perfect predictor needs only one
+	// simulated point to land on the same optimum.
+	guided, err := TuneClusterGuided([]int{1, 2, 4}, space, eval, eval, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guided.Devices != res.Devices || guided.Partitions != res.Partitions || guided.Tiles != res.Tiles {
+		t.Fatalf("guided cluster tuner found (D=%d,P=%d,T=%d), want (D=%d,P=%d,T=%d)",
+			guided.Devices, guided.Partitions, guided.Tiles, res.Devices, res.Partitions, res.Tiles)
+	}
+	if guided.Evaluations != 1 {
+		t.Fatalf("guided evaluations = %d, want 1", guided.Evaluations)
+	}
+
+	if _, err := TuneCluster(nil, space, eval); err == nil {
+		t.Error("empty device list should error")
+	}
+	if _, err := TuneCluster([]int{0}, space, eval); err == nil {
+		t.Error("non-positive device count should error")
+	}
+	if _, err := TuneClusterGuided([]int{-1}, space, eval, eval, 1); err == nil {
+		t.Error("guided non-positive device count should error")
+	}
+}
+
 func TestCoordinateDescentFindsUnimodalOptimum(t *testing.T) {
 	// Separable bowl: coordinate descent must find the exact optimum
 	// with far fewer evaluations than the 16-point product space.

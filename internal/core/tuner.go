@@ -199,6 +199,114 @@ func TuneGuided(space SearchSpace, predict, eval EvalFunc, topK int) (TuneResult
 	return best, nil
 }
 
+// ClusterEvalFunc measures one (devices, partitions, tiles)
+// configuration — partitions and tiles are per device — and returns
+// its execution time in seconds (lower is better).
+type ClusterEvalFunc func(devices, partitions, tiles int) (seconds float64, err error)
+
+// ClusterTuneResult is the outcome of a joint device-count and
+// granularity search.
+type ClusterTuneResult struct {
+	// Devices, Partitions and Tiles are the best configuration found
+	// (partitions and tiles per device).
+	Devices, Partitions, Tiles int
+	// Seconds is the best configuration's measured time.
+	Seconds float64
+	// Evaluations counts measured points.
+	Evaluations int
+}
+
+// TuneCluster searches device count and per-device granularity
+// jointly: every d in devices crossed with every (P, T) point of the
+// space. This is the multi-MIC extension of Tune — the paper's §VI
+// fixes the device count by hand; here the tuner discovers whether the
+// second (or fourth) device pays for its staging traffic.
+func TuneCluster(devices []int, space SearchSpace, eval ClusterEvalFunc) (ClusterTuneResult, error) {
+	best := ClusterTuneResult{Seconds: math.Inf(1)}
+	for _, d := range devices {
+		if d < 1 {
+			return ClusterTuneResult{}, fmt.Errorf("core: device count %d must be positive", d)
+		}
+		for _, p := range space.Partitions {
+			for _, t := range space.TilesFor(p) {
+				sec, err := eval(d, p, t)
+				if err != nil {
+					return ClusterTuneResult{}, fmt.Errorf("core: evaluating D=%d P=%d T=%d: %w", d, p, t, err)
+				}
+				best.Evaluations++
+				if sec < best.Seconds {
+					best.Devices, best.Partitions, best.Tiles, best.Seconds = d, p, t, sec
+				}
+			}
+		}
+	}
+	if math.IsInf(best.Seconds, 1) {
+		return ClusterTuneResult{}, fmt.Errorf("core: empty cluster search space")
+	}
+	return best, nil
+}
+
+// TuneClusterGuided prunes the joint search with a cheap predictor:
+// every (devices, partitions, tiles) point is scored with predict, the
+// topK best-predicted candidates are measured with eval, and the best
+// measurement wins — TuneGuided lifted to the multi-device space.
+// Prediction ties break by (devices, partitions, tiles) so the
+// candidate set is deterministic.
+func TuneClusterGuided(devices []int, space SearchSpace, predict, eval ClusterEvalFunc, topK int) (ClusterTuneResult, error) {
+	type scored struct {
+		d, p, t int
+		sec     float64
+	}
+	var cands []scored
+	for _, d := range devices {
+		if d < 1 {
+			return ClusterTuneResult{}, fmt.Errorf("core: device count %d must be positive", d)
+		}
+		for _, p := range space.Partitions {
+			for _, t := range space.TilesFor(p) {
+				sec, err := predict(d, p, t)
+				if err != nil {
+					return ClusterTuneResult{}, fmt.Errorf("core: predicting D=%d P=%d T=%d: %w", d, p, t, err)
+				}
+				cands = append(cands, scored{d, p, t, sec})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return ClusterTuneResult{}, fmt.Errorf("core: empty cluster search space")
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sec != cands[j].sec {
+			return cands[i].sec < cands[j].sec
+		}
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		if cands[i].p != cands[j].p {
+			return cands[i].p < cands[j].p
+		}
+		return cands[i].t < cands[j].t
+	})
+	if topK < 1 {
+		topK = 1
+	}
+	if topK > len(cands) {
+		topK = len(cands)
+	}
+	best := ClusterTuneResult{Seconds: math.Inf(1)}
+	for _, c := range cands[:topK] {
+		sec, err := eval(c.d, c.p, c.t)
+		if err != nil {
+			return ClusterTuneResult{}, fmt.Errorf("core: evaluating D=%d P=%d T=%d: %w", c.d, c.p, c.t, err)
+		}
+		best.Evaluations++
+		if sec < best.Seconds {
+			best.Devices, best.Partitions, best.Tiles, best.Seconds = c.d, c.p, c.t, sec
+		}
+	}
+	return best, nil
+}
+
 // Tune evaluates every point of the space and returns the fastest.
 func Tune(space SearchSpace, eval EvalFunc) (TuneResult, error) {
 	best := TuneResult{Seconds: math.Inf(1)}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestPlacementPredictedWins asserts the headline of the placement
+// study: on the moderate and severe imbalance rows the predicted
+// policy's mean makespan beats least-loaded, and on every row it beats
+// the best static single-device pinning.
+func TestPlacementPredictedWins(t *testing.T) {
+	tab, err := Placement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("placement table has %d rows, want 4", len(tab.Rows))
+	}
+	const (
+		colRR = 1 + iota
+		colLL
+		colPred
+		colStatic
+	)
+	for i, row := range tab.Rows {
+		name := row[0]
+		ll := cell(t, tab, i, colLL)
+		pred := cell(t, tab, i, colPred)
+		static := cell(t, tab, i, colStatic)
+		switch name {
+		case "moderate", "severe":
+			if pred > ll {
+				t.Errorf("%s: predicted %.3f ms should beat least-loaded %.3f ms", name, pred, ll)
+			}
+		case "balanced":
+			// Homogeneous host-resident jobs: every dynamic policy
+			// ties within a few percent.
+			if pred > 1.05*ll {
+				t.Errorf("balanced: predicted %.3f ms strays more than 5%% from least-loaded %.3f ms", pred, ll)
+			}
+		}
+		if pred > static {
+			t.Errorf("%s: predicted %.3f ms should beat the best static pinning %.3f ms", name, pred, static)
+		}
+	}
+	// Imbalance must actually bite: the severe row is slower than the
+	// balanced row for every policy.
+	for col := colRR; col <= colStatic; col++ {
+		if cell(t, tab, 3, col) <= cell(t, tab, 0, col) {
+			t.Errorf("column %s: severe row should be slower than balanced", tab.Columns[col])
+		}
+	}
+}
+
+// TestClusterScalingSubLinear asserts the Fig. 11 shape through the
+// scheduler: each device count beats the previous, every multi-device
+// point stays below its linear projection, and the 2-device point
+// lands in the paper's above-1×-below-2× band with real staged jobs.
+func TestClusterScalingSubLinear(t *testing.T) {
+	tab, err := ClusterScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("cluster-scaling table has %d rows, want 3", len(tab.Rows))
+	}
+	prevGF := 0.0
+	for i := range tab.Rows {
+		devs := cell(t, tab, i, 0)
+		gf := cell(t, tab, i, 1)
+		speedup := cell(t, tab, i, 2)
+		staged := cell(t, tab, i, 4)
+		if gf <= prevGF {
+			t.Errorf("%g devices: GFLOPS %.1f should exceed the previous row's %.1f", devs, gf, prevGF)
+		}
+		prevGF = gf
+		if devs > 1 {
+			if speedup >= devs {
+				t.Errorf("%g devices: speedup %.2f should stay below the %g× projection", devs, speedup, devs)
+			}
+			if speedup <= 1 {
+				t.Errorf("%g devices: speedup %.2f should exceed 1×", devs, speedup)
+			}
+			if staged <= 0 {
+				t.Errorf("%g devices: off-origin placements should stage jobs", devs)
+			}
+		} else if staged != 0 {
+			t.Errorf("1 device: nothing should stage, got %g jobs", staged)
+		}
+	}
+}
+
+// TestClusterExperimentsRegistered asserts the registry wiring.
+func TestClusterExperimentsRegistered(t *testing.T) {
+	for _, id := range []string{"placement", "cluster-scaling"} {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}

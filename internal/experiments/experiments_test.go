@@ -31,6 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-hotspot-pipe", "ext-multimic", "ext-taxonomy",
 		"fairness", "imbalance",
 		"modelval", "guided",
+		"placement", "cluster-scaling",
 	}
 	ids := IDs()
 	got := map[string]bool{}

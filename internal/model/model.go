@@ -159,6 +159,12 @@ type Model struct {
 	// sets: predicted link and kernel demands are multiplied by them.
 	// 0 means 1 (uncalibrated).
 	TransferScale, ComputeScale float64
+	// HostBandwidthBps caps the aggregate bandwidth of all device
+	// links at the host side (the shared PCIe root complex); 0 means
+	// unconstrained (each device owns a dedicated full-rate link).
+	// Only PredictCluster consults it — single-device predictions see
+	// one link by construction.
+	HostBandwidthBps float64
 }
 
 // New builds an uncalibrated model of the given platform.
@@ -195,6 +201,106 @@ func (m *Model) xferTime(bytes int64, xfers int) sim.Duration {
 // ceilDiv is ⌈a/b⌉ for positive b.
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
+// phaseTimes evaluates the closed forms for one phase on a device
+// split into the given layout with streams logical streams, under the
+// effective calibration factors (ts, cs). It returns the phase's wall
+// time, link occupancy, busiest-partition compute occupancy, and
+// whether the link demand set the wall time. Predict and PredictCluster
+// share it so single- and multi-device predictions agree about the
+// hardware.
+func (m *Model) phaseTimes(ph Phase, layout []device.PartitionShape, partitions, streams int, ts, cs float64) (wall, link, compute sim.Duration, transferBound bool) {
+	th := sim.Duration(float64(m.xferTime(ph.H2DBytesPerTile, ph.H2DXfersPerTile)) * ts)
+	td := sim.Duration(float64(m.xferTime(ph.D2HBytesPerTile, ph.D2HXfersPerTile)) * ts)
+	var tk sim.Duration
+	if ph.HasKernel {
+		// The slowest partition governs the phase's finish: a
+		// non-divisor split leaves some partitions smaller and
+		// core-sharing, and round-robin placement hands them the
+		// same tile count as everyone else (the Fig. 9
+		// divisor-of-56 effect, predicted instead of measured).
+		for _, shape := range layout {
+			if kt := m.Dev.KernelTimeOn(ph.Cost, shape, partitions); kt > tk {
+				tk = kt
+			}
+		}
+		tk = sim.Duration(float64(tk) * cs)
+	}
+	n := sim.Duration(ph.Tiles)
+	inBusy, outBusy := n*th, n*td
+	var phaseLink sim.Duration
+	if m.Link.FullDuplex {
+		phaseLink = inBusy
+		if outBusy > phaseLink {
+			phaseLink = outBusy
+		}
+	} else {
+		phaseLink = inBusy + outBusy
+	}
+	phaseCompute := sim.Duration(ceilDiv(ph.Tiles, partitions)) * tk
+
+	var phaseWall sim.Duration
+	if streams == 1 {
+		// One stream: FIFO serializes every stage of every tile.
+		phaseWall = n * (th + tk + td)
+	} else {
+		// Stream FIFO means a stream's next input waits for its
+		// previous output, so one stream pipelines nothing; the
+		// phase's wall time is the slowest stream's cycle chain,
+		// bounded below by the busiest partition's kernels and —
+		// when the link saturates — by the total link demand.
+		sEff := streams
+		if ph.Tiles < sEff {
+			sEff = ph.Tiles
+		}
+		cycle := th + tk + td
+		// Steady-state link contention: a stream's transfers
+		// queue behind the other streams' in proportion to how
+		// much of a cycle the link spends serving everyone.
+		var wait sim.Duration
+		if cycle > 0 && !m.Link.FullDuplex {
+			rho := float64(sEff) * float64(th+td) / float64(cycle)
+			if rho > 1 {
+				rho = 1
+			}
+			wait = sim.Duration(rho * float64(th+td))
+		}
+		// First inputs serialize on the link (stagger), then each
+		// stream runs its tiles' cycles, all but the first paying
+		// the contention wait. Round-robin placement hands the
+		// remainder tiles to the earliest-started streams, so the
+		// last finisher is either the deepest-staggered stream
+		// with ⌊T/S⌋ tiles or the last remainder stream with one
+		// tile more — whichever chain runs longer.
+		q := ph.Tiles / sEff
+		r := ph.Tiles % sEff
+		var chain sim.Duration
+		if q > 0 {
+			chain = sim.Duration(sEff-1)*th +
+				sim.Duration(q)*cycle + sim.Duration(q-1)*wait
+		}
+		if r > 0 {
+			withExtra := sim.Duration(r-1)*th +
+				sim.Duration(q+1)*cycle + sim.Duration(q)*wait
+			if withExtra > chain {
+				chain = withExtra
+			}
+		}
+		partBound := th + phaseCompute + td
+		if partBound > chain {
+			chain = partBound
+		}
+		if phaseLink >= chain {
+			// Link-saturated: transfers run back to back and the
+			// last tile's kernel is exposed at the end.
+			phaseWall = phaseLink + tk
+			transferBound = true
+		} else {
+			phaseWall = chain
+		}
+	}
+	return phaseWall, phaseLink, phaseCompute, transferBound
+}
+
 // Predict evaluates the closed-form model at one (partitions, tiles)
 // point. tiles is passed to the workload's Phases description, so its
 // meaning (tile count, grid edge, stripe count) is the workload's own —
@@ -228,94 +334,9 @@ func (m *Model) Predict(w Workload, partitions, tiles int) (Prediction, error) {
 		if ph.Tiles < 1 {
 			continue
 		}
-		th := sim.Duration(float64(m.xferTime(ph.H2DBytesPerTile, ph.H2DXfersPerTile)) * ts)
-		td := sim.Duration(float64(m.xferTime(ph.D2HBytesPerTile, ph.D2HXfersPerTile)) * ts)
-		var tk sim.Duration
-		if ph.HasKernel {
-			// The slowest partition governs the phase's finish: a
-			// non-divisor split leaves some partitions smaller and
-			// core-sharing, and round-robin placement hands them the
-			// same tile count as everyone else (the Fig. 9
-			// divisor-of-56 effect, predicted instead of measured).
-			for _, shape := range layout {
-				if kt := m.Dev.KernelTimeOn(ph.Cost, shape, partitions); kt > tk {
-					tk = kt
-				}
-			}
-			tk = sim.Duration(float64(tk) * cs)
-		}
-		n := sim.Duration(ph.Tiles)
-		inBusy, outBusy := n*th, n*td
-		var phaseLink sim.Duration
-		if m.Link.FullDuplex {
-			phaseLink = inBusy
-			if outBusy > phaseLink {
-				phaseLink = outBusy
-			}
-		} else {
-			phaseLink = inBusy + outBusy
-		}
-		phaseCompute := sim.Duration(ceilDiv(ph.Tiles, partitions)) * tk
-
-		var phaseWall sim.Duration
-		if streams == 1 {
-			// One stream: FIFO serializes every stage of every tile.
-			phaseWall = n * (th + tk + td)
-		} else {
-			// Stream FIFO means a stream's next input waits for its
-			// previous output, so one stream pipelines nothing; the
-			// phase's wall time is the slowest stream's cycle chain,
-			// bounded below by the busiest partition's kernels and —
-			// when the link saturates — by the total link demand.
-			sEff := streams
-			if ph.Tiles < sEff {
-				sEff = ph.Tiles
-			}
-			cycle := th + tk + td
-			// Steady-state link contention: a stream's transfers
-			// queue behind the other streams' in proportion to how
-			// much of a cycle the link spends serving everyone.
-			var wait sim.Duration
-			if cycle > 0 && !m.Link.FullDuplex {
-				rho := float64(sEff) * float64(th+td) / float64(cycle)
-				if rho > 1 {
-					rho = 1
-				}
-				wait = sim.Duration(rho * float64(th+td))
-			}
-			// First inputs serialize on the link (stagger), then each
-			// stream runs its tiles' cycles, all but the first paying
-			// the contention wait. Round-robin placement hands the
-			// remainder tiles to the earliest-started streams, so the
-			// last finisher is either the deepest-staggered stream
-			// with ⌊T/S⌋ tiles or the last remainder stream with one
-			// tile more — whichever chain runs longer.
-			q := ph.Tiles / sEff
-			r := ph.Tiles % sEff
-			var chain sim.Duration
-			if q > 0 {
-				chain = sim.Duration(sEff-1)*th +
-					sim.Duration(q)*cycle + sim.Duration(q-1)*wait
-			}
-			if r > 0 {
-				withExtra := sim.Duration(r-1)*th +
-					sim.Duration(q+1)*cycle + sim.Duration(q)*wait
-				if withExtra > chain {
-					chain = withExtra
-				}
-			}
-			partBound := th + phaseCompute + td
-			if partBound > chain {
-				chain = partBound
-			}
-			if phaseLink >= chain {
-				// Link-saturated: transfers run back to back and the
-				// last tile's kernel is exposed at the end.
-				phaseWall = phaseLink + tk
-				transferBound = true
-			} else {
-				phaseWall = chain
-			}
+		phaseWall, phaseLink, phaseCompute, tb := m.phaseTimes(ph, layout, partitions, streams, ts, cs)
+		if tb {
+			transferBound = true
 		}
 		wall += phaseWall + sim.Duration(ph.SerialNs)
 		serial += sim.Duration(ph.SerialNs)

@@ -51,8 +51,9 @@ func PatternWeights(name string) ([]int, error) {
 type ScenarioConfig struct {
 	// Pattern is the load-imbalance pattern name (default "balanced").
 	Pattern string
-	// Arrival is the arrival process: "poisson", "bursty" or
-	// "heavytail" (default "poisson").
+	// Arrival is the arrival process: any name workload.Arrivals
+	// accepts — "poisson", "bursty", "heavytail", "diurnal",
+	// "correlated" (default "poisson").
 	Arrival string
 	// Seed drives every random draw (default 1).
 	Seed uint64
@@ -205,19 +206,5 @@ func buildArrivals(kind string, seed uint64, n int, meanGapNs float64) ([]int64,
 	if n == 0 {
 		return nil, nil
 	}
-	switch kind {
-	case "poisson":
-		return workload.PoissonArrivals(seed, n, meanGapNs)
-	case "bursty":
-		// Bursts of 4 with tight intra-burst spacing; the silence
-		// between bursts restores the configured average rate.
-		within := meanGapNs / 10
-		between := 4*meanGapNs - 3*within
-		return workload.BurstyArrivals(seed, n, 4, within, between)
-	case "heavytail":
-		// Pareto(min, 1.5) has mean 3·min, so min = mean/3.
-		return workload.HeavyTailArrivals(seed, n, meanGapNs/3, 1.5)
-	default:
-		return nil, fmt.Errorf("sched: unknown arrival process %q (have poisson, bursty, heavytail)", kind)
-	}
+	return workload.Arrivals(kind, seed, n, meanGapNs)
 }

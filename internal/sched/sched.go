@@ -24,6 +24,13 @@
 // model-predicted work, re-planned online when the mix drifts —
 // DESIGN.md §8). Use ByName to construct one from its CLI name, or
 // implement Policy for custom dispatch.
+//
+// A scheduler normally owns every stream of its context, but
+// WithStreams restricts it to a subset — one scheduler per device is
+// how the multi-MIC cluster layer (internal/cluster) embeds it. In
+// that embedded mode the batch Run call is replaced by Reset + online
+// Submit calls, with SetOnDone exposing every completion instant to
+// the embedding layer (DESIGN.md §9).
 package sched
 
 import (
@@ -114,27 +121,46 @@ func WithPolicy(p Policy) Option {
 	return func(s *Scheduler) { s.policy = p }
 }
 
-// Scheduler runs admission and dispatch over one hstreams context. A
-// scheduler may execute several Run calls sequentially; each call
-// drains completely before returning.
+// WithStreams restricts the scheduler to a subset of the context's
+// streams, identified by their context-wide ids (default: all). The
+// cluster layer uses one scheduler per device, each owning that
+// device's streams; two live schedulers must not share a stream.
+// Policies see the owned streams re-indexed 0..n-1 in the given order,
+// with partitions renumbered by first appearance.
+func WithStreams(ids ...int) Option {
+	return func(s *Scheduler) { s.streams = append(make([]int, 0, len(ids)), ids...) }
+}
+
+// Scheduler runs admission and dispatch over one hstreams context (or,
+// with WithStreams, over a slice of it). A scheduler may execute
+// several Run calls sequentially; each call drains completely before
+// returning. Alternatively an embedding layer drives it online:
+// Reset, then Submit at arrival instants, observing completions via
+// SetOnDone.
 type Scheduler struct {
 	ctx    *hstreams.Context
 	policy Policy
 
-	// streamPart maps stream index → global partition index; fixed by
-	// the platform topology.
+	// streams lists the context-wide ids of the owned streams; all
+	// other per-stream state is indexed by position in this slice
+	// (the "local" index policies see).
+	streams []int
+	// streamPart maps local stream index → local partition index;
+	// fixed by the platform topology and the owned subset.
 	streamPart []int
 	nparts     int
 
-	// Per-run state, reset by Run.
+	// Per-run state, reset by Reset (and therefore by Run).
 	pending      []*Pending
 	busy         []bool
 	load         []sim.Duration
+	freeAt       []sim.Time
 	streamTenant []string
 	outcomes     []JobOutcome
 	done         int
 	seq          int
 	runErr       error
+	onDone       func(JobOutcome)
 }
 
 // binder is implemented by policies that derive state from the
@@ -148,19 +174,47 @@ func New(ctx *hstreams.Context, opts ...Option) (*Scheduler, error) {
 		return nil, fmt.Errorf("sched: nil context")
 	}
 	s := &Scheduler{ctx: ctx, policy: FIFO()}
-	cfg := ctx.Config()
-	s.nparts = cfg.Devices * cfg.Partitions
-	s.streamPart = make([]int, ctx.NumStreams())
-	for i := range s.streamPart {
-		st := ctx.Stream(i)
-		s.streamPart[i] = st.DeviceIndex()*cfg.Partitions + st.Partition().Index()
-	}
 	for _, opt := range opts {
 		opt(s)
 	}
 	if s.policy == nil {
 		return nil, fmt.Errorf("sched: nil policy")
 	}
+	if s.streams == nil {
+		s.streams = make([]int, ctx.NumStreams())
+		for i := range s.streams {
+			s.streams[i] = i
+		}
+	}
+	if len(s.streams) == 0 {
+		return nil, fmt.Errorf("sched: empty stream set")
+	}
+	cfg := ctx.Config()
+	// Renumber the owned streams' partitions by first appearance; for
+	// the default full set this reproduces the context's device-major
+	// partition numbering exactly.
+	s.streamPart = make([]int, len(s.streams))
+	partIdx := make(map[int]int)
+	seen := make(map[int]bool, len(s.streams))
+	for i, id := range s.streams {
+		if id < 0 || id >= ctx.NumStreams() {
+			return nil, fmt.Errorf("sched: stream id %d out of range [0,%d)", id, ctx.NumStreams())
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("sched: duplicate stream id %d", id)
+		}
+		seen[id] = true
+		st := ctx.Stream(id)
+		global := st.DeviceIndex()*cfg.Partitions + st.Partition().Index()
+		local, ok := partIdx[global]
+		if !ok {
+			local = len(partIdx)
+			partIdx[global] = local
+		}
+		s.streamPart[i] = local
+	}
+	s.nparts = len(partIdx)
+	s.Reset()
 	return s, nil
 }
 
@@ -170,6 +224,127 @@ func (s *Scheduler) Policy() Policy { return s.policy }
 // Context returns the underlying platform context.
 func (s *Scheduler) Context() *hstreams.Context { return s.ctx }
 
+// Streams returns the context-wide ids of the streams the scheduler
+// owns, in local-index order.
+func (s *Scheduler) Streams() []int { return append([]int(nil), s.streams...) }
+
+// NumStreams reports how many streams the scheduler owns, without the
+// copy Streams makes — the per-decision snapshot path uses it.
+func (s *Scheduler) NumStreams() int { return len(s.streams) }
+
+// validateJob rejects jobs the dispatch loop cannot execute.
+func validateJob(j *Job) error {
+	if len(j.Tasks) == 0 {
+		return fmt.Errorf("sched: job %d (tenant %q) has no tasks", j.ID, j.Tenant)
+	}
+	for k, task := range j.Tasks {
+		if task == nil {
+			return fmt.Errorf("sched: job %d (tenant %q) has nil task %d", j.ID, j.Tenant, k)
+		}
+	}
+	return nil
+}
+
+// Reset clears the scheduler's per-run state and re-binds the policy,
+// preparing for a fresh sequence of Submit calls. Run calls it
+// implicitly; embedding layers call it once per composed run.
+func (s *Scheduler) Reset() {
+	if b, ok := s.policy.(binder); ok {
+		b.bind(s.ctx)
+	}
+	if r, ok := s.policy.(resetter); ok {
+		r.reset()
+	}
+	n := len(s.streams)
+	s.pending = nil
+	s.busy = make([]bool, n)
+	s.load = make([]sim.Duration, n)
+	s.freeAt = make([]sim.Time, n)
+	s.streamTenant = make([]string, n)
+	s.outcomes = nil
+	s.done = 0
+	s.seq = 0
+	s.runErr = nil
+}
+
+// Submit admits one job at the current virtual instant (its Arrival
+// field is ignored — the embedding layer owns arrival timing) and runs
+// the dispatch loop. It returns the job's outcome index; the outcome's
+// completion fields fill in at the completion instant, observable via
+// SetOnDone.
+func (s *Scheduler) Submit(job *Job) (int, error) {
+	if err := validateJob(job); err != nil {
+		return -1, err
+	}
+	if s.runErr != nil {
+		return -1, s.runErr
+	}
+	idx := len(s.outcomes)
+	s.outcomes = append(s.outcomes, JobOutcome{})
+	s.admit(job, idx)
+	return idx, s.runErr
+}
+
+// SetOnDone registers fn to run at every job-completion instant, after
+// the scheduler has updated its own state and re-entered the dispatch
+// loop. The cluster layer uses it to place queued jobs at drain
+// instants.
+func (s *Scheduler) SetOnDone(fn func(JobOutcome)) { s.onDone = fn }
+
+// Outcomes returns the outcomes recorded since the last Reset, in
+// submission order; entries whose Done is unset are still in flight.
+func (s *Scheduler) Outcomes() []JobOutcome { return s.outcomes }
+
+// Err reports a dispatch error raised since the last Reset (a policy
+// picking an invalid job or stream), nil while healthy.
+func (s *Scheduler) Err() error { return s.runErr }
+
+// QueueDepth reports the number of admitted-but-undispatched jobs.
+func (s *Scheduler) QueueDepth() int { return len(s.pending) }
+
+// InFlight reports the number of dispatched-but-unfinished jobs.
+func (s *Scheduler) InFlight() int {
+	n := 0
+	for _, b := range s.busy {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingBacklog sums the service estimates of the queued jobs — the
+// time-denominated load signal the cluster's predicted placement uses,
+// where queue depth alone is blind to job sizes.
+func (s *Scheduler) PendingBacklog() sim.Duration {
+	var total sim.Duration
+	for _, p := range s.pending {
+		total += p.Est
+	}
+	return total
+}
+
+// EarliestFree estimates when a stream next becomes idle: now when one
+// already is, otherwise the smallest estimated completion instant of
+// the in-flight jobs. It is an estimate (service estimates, not
+// simulated futures) — a ranking signal, not a prediction.
+func (s *Scheduler) EarliestFree() sim.Time {
+	now := s.ctx.Now()
+	best := sim.Time(-1)
+	for i, b := range s.busy {
+		if !b {
+			return now
+		}
+		if best < 0 || s.freeAt[i] < best {
+			best = s.freeAt[i]
+		}
+	}
+	if best < now {
+		best = now
+	}
+	return best
+}
+
 // Run admits every job at its arrival time, dispatches them under the
 // configured policy until all complete, and returns the per-job and
 // per-tenant accounting. Arrival times earlier than the context's
@@ -177,33 +352,15 @@ func (s *Scheduler) Context() *hstreams.Context { return s.ctx }
 // past of a composed run).
 func (s *Scheduler) Run(jobs []Job) (*Result, error) {
 	for i := range jobs {
-		if len(jobs[i].Tasks) == 0 {
-			return nil, fmt.Errorf("sched: job %d (tenant %q) has no tasks", jobs[i].ID, jobs[i].Tenant)
-		}
-		for k, task := range jobs[i].Tasks {
-			if task == nil {
-				return nil, fmt.Errorf("sched: job %d (tenant %q) has nil task %d", jobs[i].ID, jobs[i].Tenant, k)
-			}
+		if err := validateJob(&jobs[i]); err != nil {
+			return nil, err
 		}
 		if jobs[i].Arrival < 0 {
 			return nil, fmt.Errorf("sched: job %d has negative arrival %v", jobs[i].ID, jobs[i].Arrival)
 		}
 	}
-	n := s.ctx.NumStreams()
-	if b, ok := s.policy.(binder); ok {
-		b.bind(s.ctx)
-	}
-	if r, ok := s.policy.(resetter); ok {
-		r.reset()
-	}
-	s.pending = nil
-	s.busy = make([]bool, n)
-	s.load = make([]sim.Duration, n)
-	s.streamTenant = make([]string, n)
+	s.Reset()
 	s.outcomes = make([]JobOutcome, len(jobs))
-	s.done = 0
-	s.seq = 0
-	s.runErr = nil
 
 	eng := s.ctx.Engine()
 	runStart := eng.Now()
@@ -233,7 +390,7 @@ func (s *Scheduler) admit(job *Job, idx int) {
 	}
 	est := job.Est
 	if est <= 0 {
-		est = s.estimate(job)
+		est = s.Estimate(job.Tasks)
 	}
 	s.outcomes[idx] = JobOutcome{
 		Index:   idx,
@@ -287,16 +444,18 @@ func (s *Scheduler) dispatch() {
 // the dispatch loop.
 func (s *Scheduler) start(p *Pending, stream int) {
 	idx := p.idx
+	global := s.streams[stream]
 	s.busy[stream] = true
 	s.streamTenant[stream] = tenantOf(p.Job)
 	s.load[stream] += p.Est
-	s.outcomes[idx].Stream = stream
+	s.freeAt[stream] = s.ctx.Now().Add(p.Est)
+	s.outcomes[idx].Stream = global
 	s.outcomes[idx].Start = s.ctx.Now()
 
 	tasks := make([]*core.Task, len(p.Job.Tasks))
 	for i, t := range p.Job.Tasks {
 		c := *t
-		c.StreamHint = stream
+		c.StreamHint = global
 		tasks[i] = &c
 	}
 	ev, err := core.EnqueuePhase(s.ctx, tasks)
@@ -313,6 +472,9 @@ func (s *Scheduler) start(p *Pending, stream int) {
 		s.busy[stream] = false
 		s.streamTenant[stream] = ""
 		s.dispatch()
+		if s.onDone != nil {
+			s.onDone(s.outcomes[idx])
+		}
 	})
 }
 
@@ -327,15 +489,16 @@ func (s *Scheduler) idleStreams() []int {
 	return idle
 }
 
-// estimate derives a service-time estimate for a job: per task, the
-// kernel's duration on stream 0's partition plus the PCIe time of its
-// declared transfers. It ignores queueing and overlap — it is a
-// ranking signal for cost-aware policies, not a prediction.
-func (s *Scheduler) estimate(job *Job) sim.Duration {
-	part := s.ctx.Stream(0).Partition()
+// Estimate derives a service-time estimate for a task list: per task,
+// the kernel's duration on the first owned stream's partition plus the
+// PCIe time of its declared transfers. It ignores queueing and overlap
+// — it is a ranking signal for cost-aware policies and the cluster's
+// placement scores, not a prediction.
+func (s *Scheduler) Estimate(tasks []*core.Task) sim.Duration {
+	part := s.ctx.Stream(s.streams[0]).Partition()
 	link := s.ctx.Config().Link
 	var total sim.Duration
-	for _, t := range job.Tasks {
+	for _, t := range tasks {
 		if !t.TransferOnly {
 			total += part.KernelTime(t.Cost)
 		}
@@ -362,7 +525,8 @@ type JobOutcome struct {
 	// ID and Tenant echo the job's labels.
 	ID     int
 	Tenant string
-	// Stream is where the job ran.
+	// Stream is where the job ran (a context-wide stream id, even
+	// when the scheduler owns a WithStreams subset).
 	Stream int
 	// Arrival, Start and Done are the job's lifecycle instants:
 	// admission, dispatch, and completion of its last action.
@@ -438,27 +602,23 @@ func (r *Result) Tenant(name string) *TenantStats {
 	return nil
 }
 
-// summarize assembles the Result from the recorded outcomes.
-func (s *Scheduler) summarize(runStart sim.Time) *Result {
-	r := &Result{Policy: s.policy.Name(), Jobs: s.outcomes}
-	end := runStart
+// AggregateTenants computes per-tenant aggregates over completed
+// outcomes, sorted by tenant label; makespan is the run span the
+// throughput denominators use. The cluster layer reuses it to account
+// jobs that ran on several per-device schedulers.
+func AggregateTenants(outcomes []JobOutcome, makespan sim.Duration) []TenantStats {
 	perTenant := map[string][]JobOutcome{}
-	for _, o := range s.outcomes {
-		if o.Done > end {
-			end = o.Done
-		}
+	for _, o := range outcomes {
 		perTenant[o.Tenant] = append(perTenant[o.Tenant], o)
 	}
-	r.Makespan = end.Sub(runStart)
-	span := r.Makespan.Seconds()
-
 	names := make([]string, 0, len(perTenant))
 	for name := range perTenant {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
-	var slowdowns, throughputs []float64
+	span := makespan.Seconds()
+	out := make([]TenantStats, 0, len(names))
 	for _, name := range names {
 		jobs := perTenant[name]
 		lats := make([]float64, len(jobs))
@@ -480,7 +640,25 @@ func (s *Scheduler) summarize(runStart sim.Time) *Result {
 		if span > 0 {
 			ts.Throughput = float64(len(jobs)) / span
 		}
-		r.Tenants = append(r.Tenants, ts)
+		out = append(out, ts)
+	}
+	return out
+}
+
+// summarize assembles the Result from the recorded outcomes.
+func (s *Scheduler) summarize(runStart sim.Time) *Result {
+	r := &Result{Policy: s.policy.Name(), Jobs: s.outcomes}
+	end := runStart
+	for _, o := range s.outcomes {
+		if o.Done > end {
+			end = o.Done
+		}
+	}
+	r.Makespan = end.Sub(runStart)
+	r.Tenants = AggregateTenants(s.outcomes, r.Makespan)
+
+	var slowdowns, throughputs []float64
+	for _, ts := range r.Tenants {
 		slowdowns = append(slowdowns, ts.MeanSlowdown)
 		throughputs = append(throughputs, ts.Throughput)
 	}

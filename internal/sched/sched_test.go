@@ -379,6 +379,132 @@ func TestPolicyCannotCorruptView(t *testing.T) {
 	}
 }
 
+func TestWithStreamsSubset(t *testing.T) {
+	// 2 devices × 2 partitions: streams 0,1 belong to device 0 and
+	// streams 2,3 to device 1. A scheduler owning device 1's streams
+	// must place only there, report global stream ids, and expose a
+	// 2-partition view to its policy.
+	ctx, err := hstreams.Init(hstreams.Config{Devices: 2, Partitions: 2, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ctx, WithStreams(2, 3), WithPolicy(RoundRobin()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, syntheticJob(i, "t", sim.Time(i)*sim.Time(100*sim.Millisecond), 1e8))
+	}
+	r, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range r.Jobs {
+		if o.Stream != 2+i%2 {
+			t.Errorf("job %d placed on stream %d, want %d", i, o.Stream, 2+i%2)
+		}
+	}
+	if got := s.Streams(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("Streams() = %v, want [2 3]", got)
+	}
+
+	if _, err := New(ctx, WithStreams()); err == nil {
+		t.Error("empty stream set should error")
+	}
+	if _, err := New(ctx, WithStreams(0, 0)); err == nil {
+		t.Error("duplicate stream id should error")
+	}
+	if _, err := New(ctx, WithStreams(9)); err == nil {
+		t.Error("out-of-range stream id should error")
+	}
+}
+
+func TestSubmitOnline(t *testing.T) {
+	// The embedded mode: Reset + Submit at engine instants must match
+	// the batch Run on the same arrivals.
+	build := func() []Job {
+		return []Job{
+			syntheticJob(0, "a", 0, 5e8),
+			syntheticJob(1, "b", sim.Time(sim.Millisecond), 2e8),
+			syntheticJob(2, "a", 2*sim.Time(sim.Millisecond), 1e8),
+		}
+	}
+	ctx1 := newCtx(t, 2)
+	s1, _ := New(ctx1)
+	batch, err := s1.Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx2 := newCtx(t, 2)
+	s2, _ := New(ctx2)
+	s2.Reset()
+	var completions []JobOutcome
+	s2.SetOnDone(func(o JobOutcome) { completions = append(completions, o) })
+	jobs := build()
+	eng := ctx2.Engine()
+	for i := range jobs {
+		job := &jobs[i]
+		eng.At(job.Arrival, func() {
+			if _, err := s2.Submit(job); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		})
+	}
+	eng.Run()
+	if err := s2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	online := s2.Outcomes()
+	if len(online) != len(batch.Jobs) {
+		t.Fatalf("online run completed %d jobs, want %d", len(online), len(batch.Jobs))
+	}
+	for i := range online {
+		if online[i].Start != batch.Jobs[i].Start || online[i].Done != batch.Jobs[i].Done ||
+			online[i].Stream != batch.Jobs[i].Stream {
+			t.Errorf("job %d: online %+v != batch %+v", i, online[i], batch.Jobs[i])
+		}
+	}
+	if len(completions) != len(jobs) {
+		t.Errorf("OnDone fired %d times, want %d", len(completions), len(jobs))
+	}
+	if s2.QueueDepth() != 0 || s2.InFlight() != 0 {
+		t.Errorf("drained scheduler reports queue %d, in-flight %d", s2.QueueDepth(), s2.InFlight())
+	}
+
+	if _, err := s2.Submit(&Job{ID: 9}); err == nil {
+		t.Error("Submit of a task-less job should error")
+	}
+}
+
+func TestEarliestFreeEstimates(t *testing.T) {
+	ctx := newCtx(t, 1)
+	s, _ := New(ctx)
+	s.Reset()
+	if got, now := s.EarliestFree(), ctx.Now(); got != now {
+		t.Fatalf("idle scheduler EarliestFree = %v, want now %v", got, now)
+	}
+	job := syntheticJob(0, "t", 0, 5e8)
+	if _, err := s.Submit(&job); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EarliestFree(); got <= ctx.Now() {
+		t.Fatalf("busy scheduler EarliestFree = %v, want after now %v", got, ctx.Now())
+	}
+	if s.PendingBacklog() != 0 {
+		t.Errorf("no queued jobs but backlog %v", s.PendingBacklog())
+	}
+	job2 := syntheticJob(1, "t", 0, 5e8)
+	if _, err := s.Submit(&job2); err != nil {
+		t.Fatal(err)
+	}
+	if s.PendingBacklog() <= 0 {
+		t.Error("queued job should contribute backlog")
+	}
+	ctx.Drain()
+}
+
 // vandalPolicy scribbles over every View slice before picking like
 // FIFO; the scheduler must be immune.
 type vandalPolicy struct{}

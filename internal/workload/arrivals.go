@@ -91,6 +91,119 @@ func HeavyTailArrivals(seed uint64, n int, minGapNs, alpha float64) ([]int64, er
 	return out, nil
 }
 
+// DiurnalArrivals returns n arrivals of an inhomogeneous Poisson
+// process whose rate swings sinusoidally around the base rate 1/mean:
+// rate(t) = (1 + amplitude·sin(2πt/period)) / meanGapNs. Amplitude in
+// [0, 1) keeps the rate positive; 0.8 gives the 9:1 peak-to-trough
+// swing of a day/night request cycle compressed into one period. Gaps
+// are exponential draws stretched by the instantaneous rate, so the
+// process stays a pure function of its seed.
+func DiurnalArrivals(seed uint64, n int, meanGapNs, periodNs, amplitude float64) ([]int64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative arrival count %d", n)
+	}
+	if meanGapNs <= 0 || periodNs <= 0 {
+		return nil, fmt.Errorf("workload: mean gap and period must be positive, got %g and %g", meanGapNs, periodNs)
+	}
+	if amplitude < 0 || amplitude >= 1 {
+		return nil, fmt.Errorf("workload: amplitude must be in [0,1), got %g", amplitude)
+	}
+	rng := NewRNG(seed)
+	out := make([]int64, n)
+	t := 0.0
+	for i := range out {
+		rate := 1 + amplitude*math.Sin(2*math.Pi*t/periodNs)
+		t += expGap(rng, meanGapNs) / rate
+		out[i] = int64(t)
+	}
+	return out, nil
+}
+
+// CorrelatedBurstArrivals returns n arrivals of a bursty process whose
+// successive burst lengths are AR(1)-correlated: a big flash crowd
+// tends to be followed by another big one (rho near 1) instead of the
+// independent bursts of BurstyArrivals. Burst k's length is
+// max(1, round(rho·L[k-1] + (1-rho)·2u·meanLen)) for u uniform in
+// [0, 1); within-burst gaps are Exp(withinGapNs) and bursts are
+// separated by Exp(betweenGapNs) silences.
+func CorrelatedBurstArrivals(seed uint64, n int, meanLen, rho, withinGapNs, betweenGapNs float64) ([]int64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative arrival count %d", n)
+	}
+	if meanLen < 1 {
+		return nil, fmt.Errorf("workload: mean burst length must be ≥ 1, got %g", meanLen)
+	}
+	if rho < 0 || rho >= 1 {
+		return nil, fmt.Errorf("workload: correlation must be in [0,1), got %g", rho)
+	}
+	if withinGapNs <= 0 || betweenGapNs <= 0 {
+		return nil, fmt.Errorf("workload: gaps must be positive, got %g and %g", withinGapNs, betweenGapNs)
+	}
+	rng := NewRNG(seed)
+	out := make([]int64, n)
+	t := 0.0
+	prev := meanLen
+	i := 0
+	for i < n {
+		length := rho*prev + (1-rho)*2*rng.Float64()*meanLen
+		prev = length
+		burst := int(math.Round(length))
+		if burst < 1 {
+			burst = 1
+		}
+		t += expGap(rng, betweenGapNs)
+		for k := 0; k < burst && i < n; k++ {
+			if k > 0 {
+				t += expGap(rng, withinGapNs)
+			}
+			out[i] = int64(t)
+			i++
+		}
+	}
+	return out, nil
+}
+
+// Names lists the arrival-process names Arrivals accepts, in stable
+// order.
+func Names() []string {
+	return []string{"bursty", "correlated", "diurnal", "heavytail", "poisson"}
+}
+
+// Arrivals dispatches to a named arrival process parameterized only by
+// a mean inter-arrival gap — the common interface the scenario
+// builders and the -arrival CLI flags use. Shape parameters are fixed
+// per process: bursty runs bursts of 4 with 10× tighter intra-burst
+// spacing, heavytail is Pareto(mean/3, 1.5), diurnal swings ±0.8
+// around the base rate over one window-length period, and correlated
+// chains bursts of mean length 6 with rho = 0.7.
+func Arrivals(kind string, seed uint64, n int, meanGapNs float64) ([]int64, error) {
+	switch kind {
+	case "poisson":
+		return PoissonArrivals(seed, n, meanGapNs)
+	case "bursty":
+		// Bursts of 4 with tight intra-burst spacing; the silence
+		// between bursts restores the configured average rate.
+		within := meanGapNs / 10
+		between := 4*meanGapNs - 3*within
+		return BurstyArrivals(seed, n, 4, within, between)
+	case "heavytail":
+		// Pareto(min, 1.5) has mean 3·min, so min = mean/3.
+		return HeavyTailArrivals(seed, n, meanGapNs/3, 1.5)
+	case "diurnal":
+		// One full day/night cycle across the n-arrival window.
+		return DiurnalArrivals(seed, n, meanGapNs, float64(n)*meanGapNs, 0.8)
+	case "correlated":
+		// Mean burst of 6 at 10× tighter spacing; the inter-burst
+		// silence restores the configured average rate.
+		const meanLen, rho = 6, 0.7
+		within := meanGapNs / 10
+		between := meanLen*meanGapNs - (meanLen-1)*within
+		return CorrelatedBurstArrivals(seed, n, meanLen, rho, within, between)
+	default:
+		return nil, fmt.Errorf("workload: unknown arrival process %q (have %v)", kind, Names())
+	}
+}
+
 // expGap draws one exponential inter-arrival gap with the given mean.
 func expGap(rng *RNG, mean float64) float64 {
 	// 1-u is in (0, 1], so the log argument never hits zero.

@@ -46,12 +46,114 @@ func TestHeavyTailArrivalsGolden(t *testing.T) {
 	}
 }
 
+func TestDiurnalArrivalsGolden(t *testing.T) {
+	got, err := DiurnalArrivals(42, 6, 1e6, 6e6, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1353110, 1450425, 1631957, 1867335, 1889598, 3058162}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DiurnalArrivals(42, 6, 1e6, 6e6, 0.8) = %v, want %v", got, want)
+	}
+	// The rate modulation must be visible across the cycle: arrivals
+	// bunch on the rising half-period and thin on the falling one.
+	dense, err := DiurnalArrivals(7, 400, 1e6, 4e8, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, trough := 0, 0
+	for _, a := range dense {
+		phase := float64(a) / 4e8
+		switch {
+		case phase-float64(int(phase)) < 0.5:
+			peak++
+		default:
+			trough++
+		}
+	}
+	if peak <= trough {
+		t.Errorf("diurnal peak half-cycles got %d arrivals, troughs %d; modulation invisible", peak, trough)
+	}
+}
+
+func TestCorrelatedBurstArrivalsGolden(t *testing.T) {
+	got, err := CorrelatedBurstArrivals(42, 8, 3, 0.7, 1e5, 5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{871233, 903889, 946078, 11079491, 11104133, 13181188, 13277548, 13300477}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CorrelatedBurstArrivals(42, 8, 3, 0.7, 1e5, 5e6) = %v, want %v", got, want)
+	}
+	// The burst structure must be visible: the first burst's three
+	// within-gaps are tight, then a long inter-burst silence.
+	if gap := got[3] - got[2]; gap < 10*(got[2]-got[1]) {
+		t.Errorf("inter-burst gap %d not much larger than within-burst gap %d", gap, got[2]-got[1])
+	}
+}
+
+func TestArrivalsDispatcherGolden(t *testing.T) {
+	// The dispatcher's fixed shape parameters are part of the
+	// determinism contract: scenario arrival streams must never move
+	// under a refactor.
+	cases := map[string][]int64{
+		"diurnal":    {494017, 505571, 2072090, 2692415, 3437412},
+		"correlated": {93119, 324141, 411591, 471820, 500512},
+	}
+	for kind, want := range cases {
+		got, err := Arrivals(kind, 7, 5, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Arrivals(%q, 7, 5, 1e6) = %v, want %v", kind, got, want)
+		}
+	}
+	for _, kind := range Names() {
+		if _, err := Arrivals(kind, 1, 10, 1e6); err != nil {
+			t.Errorf("Arrivals(%q): %v", kind, err)
+		}
+	}
+	if _, err := Arrivals("uniform", 1, 10, 1e6); err == nil {
+		t.Error("unknown arrival kind should error")
+	}
+}
+
+func TestNewArrivalErrors(t *testing.T) {
+	if _, err := DiurnalArrivals(1, -1, 1e6, 6e6, 0.5); err == nil {
+		t.Error("negative count should error")
+	}
+	if _, err := DiurnalArrivals(1, 5, 0, 6e6, 0.5); err == nil {
+		t.Error("zero mean gap should error")
+	}
+	if _, err := DiurnalArrivals(1, 5, 1e6, 0, 0.5); err == nil {
+		t.Error("zero period should error")
+	}
+	if _, err := DiurnalArrivals(1, 5, 1e6, 6e6, 1); err == nil {
+		t.Error("amplitude 1 should error")
+	}
+	if _, err := CorrelatedBurstArrivals(1, -1, 3, 0.5, 1e5, 5e6); err == nil {
+		t.Error("negative count should error")
+	}
+	if _, err := CorrelatedBurstArrivals(1, 5, 0.5, 0.5, 1e5, 5e6); err == nil {
+		t.Error("mean burst < 1 should error")
+	}
+	if _, err := CorrelatedBurstArrivals(1, 5, 3, 1, 1e5, 5e6); err == nil {
+		t.Error("rho 1 should error")
+	}
+	if _, err := CorrelatedBurstArrivals(1, 5, 3, 0.5, 0, 5e6); err == nil {
+		t.Error("zero within gap should error")
+	}
+}
+
 func TestArrivalsInvariants(t *testing.T) {
 	type gen func(seed uint64) ([]int64, error)
 	gens := map[string]gen{
-		"poisson": func(s uint64) ([]int64, error) { return PoissonArrivals(s, 200, 5e5) },
-		"bursty":  func(s uint64) ([]int64, error) { return BurstyArrivals(s, 200, 8, 1e4, 2e6) },
-		"heavy":   func(s uint64) ([]int64, error) { return HeavyTailArrivals(s, 200, 5e4, 1.3) },
+		"poisson":    func(s uint64) ([]int64, error) { return PoissonArrivals(s, 200, 5e5) },
+		"bursty":     func(s uint64) ([]int64, error) { return BurstyArrivals(s, 200, 8, 1e4, 2e6) },
+		"heavy":      func(s uint64) ([]int64, error) { return HeavyTailArrivals(s, 200, 5e4, 1.3) },
+		"diurnal":    func(s uint64) ([]int64, error) { return DiurnalArrivals(s, 200, 5e5, 5e7, 0.8) },
+		"correlated": func(s uint64) ([]int64, error) { return CorrelatedBurstArrivals(s, 200, 6, 0.7, 1e4, 2e6) },
 	}
 	for name, g := range gens {
 		for seed := uint64(1); seed <= 5; seed++ {
