@@ -2,6 +2,7 @@ package micstream
 
 import (
 	"io"
+	"time"
 
 	"micstream/internal/cluster"
 	"micstream/internal/core"
@@ -12,6 +13,7 @@ import (
 	"micstream/internal/pcie"
 	"micstream/internal/sched"
 	"micstream/internal/sim"
+	"micstream/internal/workload"
 )
 
 // Core offload primitives, re-exported from the runtime layer.
@@ -248,6 +250,10 @@ func BuildScenario(p *Platform, cfg ScenarioConfig) ([]Job, error) {
 // PatternNames lists the built-in load-imbalance patterns.
 func PatternNames() []string { return sched.Patterns() }
 
+// ArrivalNames lists the built-in arrival processes the scenario
+// builders' Arrival fields (and the CLIs' -arrival flags) accept.
+func ArrivalNames() []string { return workload.Names() }
+
 // Multi-MIC cluster scheduling layer, re-exported from the cluster
 // package: one per-device stream scheduler per simulated coprocessor
 // behind a cluster-level admission queue with pluggable placement
@@ -334,6 +340,21 @@ func WithClusterQueueDepth(n int) ClusterOption {
 // (default cluster.DefaultStagingFactor: the tile crosses PCIe twice).
 func WithClusterStagingFactor(f float64) ClusterOption {
 	return func(c *clusterConfig) { c.opts = append(c.opts, cluster.WithStagingFactor(f)) }
+}
+
+// WithClusterStealing enables drain-instant work stealing with the
+// given steal threshold: whenever a device goes idle while another's
+// committed backlog exceeds the threshold, committed-but-undispatched
+// jobs may re-bind to the idle device when their model-predicted
+// completion — including the Fig. 11 staging re-charge — improves
+// (DESIGN.md §10). A zero threshold steals on any backlog; stealing is
+// off by default (omit the option). Note the miccluster CLI differs:
+// there -steal=0 is the unset flag (stealing stays disabled) and
+// -steal=1ns is the steal-on-any-backlog idiom.
+func WithClusterStealing(threshold time.Duration) ClusterOption {
+	return func(c *clusterConfig) {
+		c.opts = append(c.opts, cluster.WithStealing(sim.Duration(threshold.Nanoseconds())))
+	}
 }
 
 // WithClusterDevicePolicy sets the per-device stream-scheduling policy

@@ -84,6 +84,7 @@ func BenchmarkTunerSearch(b *testing.B)   { benchFigure(b, "heuristics") }
 func BenchmarkSchedFairness(b *testing.B)     { benchFigure(b, "fairness") }
 func BenchmarkClusterPlacement(b *testing.B)  { benchFigure(b, "placement") }
 func BenchmarkClusterScalingFig(b *testing.B) { benchFigure(b, "cluster-scaling") }
+func BenchmarkClusterStealing(b *testing.B)   { benchFigure(b, "stealing") }
 
 // Ablations of the model's load-bearing terms and extensions beyond
 // the paper (see EXPERIMENTS.md §Extensions).

@@ -7,22 +7,29 @@
 //
 //	miccluster -place=predicted -devices=2 -spread=8 -affinity=0.5
 //	miccluster -compare -arrival=correlated -seed=7
+//	miccluster -steal=1ns -affinity=1 -origins=0 -xfer=8388608 -depth=16
 //	miccluster -scaling -devices=4
 //	miccluster -list
 //
 // Placement policies: least-loaded (fewest committed jobs),
 // round-robin (rotate devices), predicted (earliest model-predicted
 // completion including the cross-device staging term — the policy the
-// placement experiment shows winning on imbalanced mixes). -compare
-// runs every placement on the same workload side by side; -scaling
-// prints a Fig. 11-style table of 1..devices GFLOPS through the
-// scheduler. Every run is a pure function of its flags.
+// placement experiment shows winning on imbalanced mixes). -steal
+// enables drain-instant work stealing: an idle device re-binds
+// committed jobs from a device whose backlog exceeds the threshold
+// when the predicted completion (staging re-charged) improves.
+// -compare runs every placement on the same workload side by side;
+// -scaling prints a Fig. 11-style table of 1..devices GFLOPS through
+// the scheduler. Every run is a pure function of its flags.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -37,12 +44,14 @@ func main() {
 		place      = flag.String("place", "predicted", "placement policy: least-loaded, round-robin, predicted")
 		policy     = flag.String("policy", "fifo", "per-device stream policy: fifo, rr, sjf, adaptive")
 		depth      = flag.Int("depth", 8, "per-device committed-queue depth")
+		steal      = flag.Duration("steal", 0, "work-stealing backlog threshold (e.g. 1ms; 1ns steals on any backlog); 0 disables")
 		staging    = flag.Float64("staging", 0, "staging factor override (0 = default 2x)")
 		njobs      = flag.Int("njobs", 48, "job count")
 		scale      = flag.Int("scale", 1, "multiplier on the job count")
 		spread     = flag.Float64("spread", 4, "geometric job-size spread (1 = identical jobs)")
 		affinity   = flag.Float64("affinity", 0.25, "fraction of jobs with device-resident inputs")
 		xfer       = flag.Int64("xfer", 1<<20, "per-job transfer (and staging) volume in bytes")
+		origins    = flag.String("origins", "", "comma-separated devices affine jobs cycle through (default: all devices; e.g. -origins=0 pins all inputs to device 0)")
 		arrival    = flag.String("arrival", "poisson", "arrival process: poisson, bursty, heavytail, diurnal, correlated")
 		seed       = flag.Uint64("seed", 1, "scenario seed")
 		window     = flag.Duration("window", 20*time.Millisecond, "arrival window (virtual time)")
@@ -57,7 +66,7 @@ func main() {
 	if *list {
 		fmt.Println("placements:", micstream.PlacementNames())
 		fmt.Println("policies:  ", micstream.PolicyNames())
-		fmt.Println("patterns:  ", micstream.PatternNames())
+		fmt.Println("arrivals:  ", micstream.ArrivalNames())
 		return
 	}
 	switch {
@@ -73,6 +82,8 @@ func main() {
 		usageError("-njobs must be positive, got %d", *njobs)
 	case *depth < 1:
 		usageError("-depth must be positive, got %d", *depth)
+	case *steal < 0:
+		usageError("-steal must be non-negative, got %v", *steal)
 	case *staging < 0:
 		usageError("-staging must be non-negative, got %g", *staging)
 	case *spread < 1:
@@ -86,11 +97,27 @@ func main() {
 	case *window <= 0:
 		usageError("-window must be positive, got %v", *window)
 	}
+	// Name-valued flags fail up front with a usage error instead of
+	// deep inside a run: an unknown policy or arrival process is a
+	// command-line mistake, not a runtime failure.
+	if _, err := micstream.PlaceBy(*place); err != nil && !*compare {
+		usageError("-place: %v", err)
+	}
+	if _, err := micstream.PolicyByName(*policy); err != nil {
+		usageError("-policy: %v", err)
+	}
+	if !slices.Contains(micstream.ArrivalNames(), *arrival) {
+		usageError("-arrival: unknown arrival process %q (have %v)", *arrival, micstream.ArrivalNames())
+	}
+	origin, err := parseOrigins(*origins, *devices)
+	if err != nil {
+		usageError("-origins: %v", err)
+	}
 
 	if *scaling {
 		runScaling(scalingFlags{
 			maxDevices: *devices, partitions: *partitions, streams: *streams,
-			policy: *policy, depth: *depth, staging: *staging,
+			policy: *policy, depth: *depth, steal: *steal, staging: *staging,
 			njobs: *njobs * *scale, seed: *seed, xfer: *xfer,
 		})
 		return
@@ -106,9 +133,9 @@ func main() {
 		}
 		r := runOnce(name, clusterFlags{
 			devices: *devices, partitions: *partitions, streams: *streams,
-			policy: *policy, depth: *depth, staging: *staging,
+			policy: *policy, depth: *depth, steal: *steal, staging: *staging,
 			njobs: *njobs * *scale, spread: *spread, affinity: *affinity,
-			xfer: *xfer, arrival: *arrival, seed: *seed,
+			xfer: *xfer, origins: origin, arrival: *arrival, seed: *seed,
 			windowNs: window.Nanoseconds(), tenants: *tenants,
 		})
 		printResult(r, name, *arrival, *seed, *jobs && !*compare)
@@ -119,10 +146,12 @@ type clusterFlags struct {
 	devices, partitions, streams int
 	policy                       string
 	depth                        int
+	steal                        time.Duration
 	staging                      float64
 	njobs                        int
 	spread, affinity             float64
 	xfer                         int64
+	origins                      []int
 	arrival                      string
 	seed                         uint64
 	windowNs                     int64
@@ -130,14 +159,11 @@ type clusterFlags struct {
 }
 
 // runOnce builds a fresh cluster and runs the configured scenario.
+// Flag names were validated in main; the factory below runs once per
+// device after validation cannot fail.
 func runOnce(place string, f clusterFlags) *micstream.ClusterResult {
 	pol, err := micstream.PlaceBy(place)
 	if err != nil {
-		fatal(err)
-	}
-	// Validate the stream-policy name up front; the factory below
-	// runs once per device after validation cannot fail.
-	if _, err := micstream.PolicyByName(f.policy); err != nil {
 		fatal(err)
 	}
 	opts := []micstream.ClusterOption{
@@ -154,6 +180,9 @@ func runOnce(place string, f clusterFlags) *micstream.ClusterResult {
 			return p
 		}),
 	}
+	if f.steal > 0 {
+		opts = append(opts, micstream.WithClusterStealing(f.steal))
+	}
 	if f.staging > 0 {
 		opts = append(opts, micstream.WithClusterStagingFactor(f.staging))
 	}
@@ -161,9 +190,12 @@ func runOnce(place string, f clusterFlags) *micstream.ClusterResult {
 	if err != nil {
 		fatal(err)
 	}
-	origins := make([]int, f.devices)
-	for d := range origins {
-		origins[d] = d
+	origins := f.origins
+	if len(origins) == 0 {
+		origins = make([]int, f.devices)
+		for d := range origins {
+			origins[d] = d
+		}
 	}
 	scenario, err := micstream.BuildClusterScenario(c, micstream.ClusterScenarioConfig{
 		Jobs:             f.njobs,
@@ -189,8 +221,8 @@ func runOnce(place string, f clusterFlags) *micstream.ClusterResult {
 // printResult renders one run: header, per-device table, per-tenant
 // table, and optionally every job.
 func printResult(r *micstream.ClusterResult, place, arrival string, seed uint64, perJob bool) {
-	fmt.Printf("placement=%s arrival=%s seed=%d: %d jobs over %d devices, makespan %v, %d staged (%d MB)\n\n",
-		place, arrival, seed, len(r.Jobs), len(r.Devices), r.Makespan, r.StagedJobs, r.StagedBytes>>20)
+	fmt.Printf("placement=%s arrival=%s seed=%d: %d jobs over %d devices, makespan %v, %d staged (%d MB), %d stolen\n\n",
+		place, arrival, seed, len(r.Jobs), len(r.Devices), r.Makespan, r.StagedJobs, r.StagedBytes>>20, r.Steals)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
 	fmt.Fprintln(tw, "device\tjobs\tstaged\tbusy\tutilization")
 	for _, ds := range r.Devices {
@@ -209,10 +241,14 @@ func printResult(r *micstream.ClusterResult, place, arrival string, seed uint64,
 	if perJob {
 		fmt.Println()
 		tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
-		fmt.Fprintln(tw, "job\ttenant\tdevice\tstream\tstaged\tarrival\tplaced\tstart\tdone\tlatency")
+		fmt.Fprintln(tw, "job\ttenant\torigin\tdevice\tstream\tstaged\tstolen\tarrival\tplaced\tstart\tdone\tlatency")
 		for _, o := range r.Jobs {
-			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%v\t%v\t%v\t%v\t%v\t%v\n",
-				o.ID, o.Tenant, o.Device, o.Stream, o.Staged, o.Arrival, o.Placed, o.Start, o.Done, o.Latency())
+			stolen := "-"
+			if o.Stolen {
+				stolen = fmt.Sprintf("%d→%d@%v", o.StolenFrom, o.Device, o.StolenAt)
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%v\t%s\t%v\t%v\t%v\t%v\t%v\n",
+				o.ID, o.Tenant, o.Origin, o.Device, o.Stream, o.Staged, stolen, o.Arrival, o.Placed, o.Start, o.Done, o.Latency())
 		}
 		tw.Flush()
 	}
@@ -222,6 +258,7 @@ type scalingFlags struct {
 	maxDevices, partitions, streams int
 	policy                          string
 	depth                           int
+	steal                           time.Duration
 	staging                         float64
 	njobs                           int
 	seed                            uint64
@@ -263,6 +300,9 @@ func runScaling(f scalingFlags) {
 				return p
 			}),
 		}
+		if f.steal > 0 {
+			opts = append(opts, micstream.WithClusterStealing(f.steal))
+		}
 		if f.staging > 0 {
 			opts = append(opts, micstream.WithClusterStagingFactor(f.staging))
 		}
@@ -298,6 +338,26 @@ func runScaling(f scalingFlags) {
 	fmt.Println("re-stages its input through the host, the Fig. 11 shortfall (paper §VI).")
 	fmt.Println("raise -xfer or -staging to deepen the shortfall; -spread/-affinity/-arrival")
 	fmt.Println("shape the mix modes only, not this table.")
+}
+
+// parseOrigins parses the -origins flag: a comma-separated device
+// list, each in [0, devices).
+func parseOrigins(s string, devices int) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad device %q", part)
+		}
+		if d < 0 || d >= devices {
+			return nil, fmt.Errorf("device %d out of range [0,%d)", d, devices)
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 func usageError(format string, args ...any) {

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"text/tabwriter"
 	"time"
 
@@ -47,6 +48,7 @@ func main() {
 	if *list {
 		fmt.Println("policies:", micstream.PolicyNames())
 		fmt.Println("patterns:", micstream.PatternNames())
+		fmt.Println("arrivals:", micstream.ArrivalNames())
 		return
 	}
 	switch {
@@ -59,15 +61,24 @@ func main() {
 	case *window <= 0:
 		usageError("-window must be positive, got %v", *window)
 	}
+	// Name-valued flags fail up front with a usage error instead of
+	// deep inside a run: an unknown policy, pattern or arrival process
+	// is a command-line mistake, not a runtime failure.
+	pol, err := micstream.PolicyByName(*policy)
+	if err != nil {
+		usageError("-policy: %v", err)
+	}
+	if !slices.Contains(micstream.PatternNames(), *pattern) {
+		usageError("-pattern: unknown load pattern %q (have %v)", *pattern, micstream.PatternNames())
+	}
+	if !slices.Contains(micstream.ArrivalNames(), *arrival) {
+		usageError("-arrival: unknown arrival process %q (have %v)", *arrival, micstream.ArrivalNames())
+	}
 
 	p, err := micstream.NewPlatform(
 		micstream.WithPartitions(*partitions),
 		micstream.WithStreamsPerPartition(*streams),
 	)
-	if err != nil {
-		fatal(err)
-	}
-	pol, err := micstream.PolicyByName(*policy)
 	if err != nil {
 		fatal(err)
 	}

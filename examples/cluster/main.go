@@ -1,12 +1,14 @@
 // Cluster: the model-driven multi-MIC scheduler end to end.
 //
-// Three acts. First the cluster tuner picks the device count and
+// Four acts. First the cluster tuner picks the device count and
 // per-device granularity jointly from the analytic model alone —
 // whether a second MIC pays for its staging traffic is a prediction,
 // not a measurement. Then a cluster runs an imbalanced job mix under
 // every placement policy, showing the predicted policy beating the
-// load-blind baselines. Finally one run is unpacked: per-device
+// load-blind baselines. Next one run is unpacked: per-device
 // utilization, the staged jobs, and where the Fig. 11 shortfall went.
+// Finally work stealing re-binds committed jobs at drain instants on a
+// stranded mix, recovering the makespan eager commitment wastes.
 //
 //	go run ./examples/cluster
 package main
@@ -14,6 +16,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"micstream"
 )
@@ -116,4 +119,58 @@ func main() {
 	fmt.Println("\nthe placement layer sees time, not counts: a queue of two heavy jobs")
 	fmt.Println("outweighs a queue of five light ones, and moving a tile off its home")
 	fmt.Println("device is charged at the Fig. 11 staging price before it happens.")
+
+	// --- Act 4: work stealing on a stranded mix.
+	//
+	// Every job's inputs live on device 0 and a deep committed queue
+	// (depth 16) freezes placement decisions early. Without stealing,
+	// device 1 drains while device 0 grinds its backlog; with -steal
+	// semantics enabled, drain instants re-bind committed jobs — the
+	// staging term re-charged on the new link, or un-charged when a
+	// job is stolen back to its origin.
+	fmt.Printf("\nwork stealing on a stranded mix (all inputs on device 0):\n")
+	for _, stealing := range []bool{false, true} {
+		opts := []micstream.ClusterOption{
+			micstream.WithClusterDevices(2),
+			micstream.WithClusterPartitions(2),
+			micstream.WithClusterStreams(2),
+			micstream.WithClusterQueueDepth(16),
+		}
+		label := "predicted only "
+		if stealing {
+			opts = append(opts, micstream.WithClusterStealing(time.Nanosecond))
+			label = "with stealing  "
+		}
+		c, err := micstream.NewCluster(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs, err := micstream.BuildClusterScenario(c, micstream.ClusterScenarioConfig{
+			Seed:             2016,
+			Arrival:          "bursty",
+			SizeSpread:       4,
+			AffinityFraction: 1,
+			Origins:          []int{0},
+			XferBytes:        8 << 20,
+			WindowNs:         10_000_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := c.Run(jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s makespan %v  steals %d  staged %2d jobs\n",
+			label, r.Makespan, r.Steals, r.StagedJobs)
+		for _, o := range r.Jobs {
+			if o.Stolen {
+				fmt.Printf("    job %2d re-bound %d→%d at %v (staged: %v)\n",
+					o.ID, o.StolenFrom, o.Device, o.StolenAt, o.Staged)
+			}
+		}
+	}
+	fmt.Println("\na committed queue is a promise the scheduler no longer has to keep:")
+	fmt.Println("at every drain instant an idle device may buy a queued job — at the")
+	fmt.Println("staging price — whenever the model says the move finishes it sooner.")
 }

@@ -37,6 +37,7 @@ import (
 
 	"micstream/internal/core"
 	"micstream/internal/hstreams"
+	"micstream/internal/model"
 	"micstream/internal/pcie"
 	"micstream/internal/sched"
 	"micstream/internal/sim"
@@ -91,6 +92,10 @@ type Queued struct {
 
 	// idx is the job's outcome slot.
 	idx int
+	// dev and devIdx locate the job after commitment: the device it
+	// was routed to and its outcome index on that device's scheduler.
+	// Work stealing uses them to withdraw a committed job.
+	dev, devIdx int
 }
 
 // Option configures a Cluster.
@@ -120,25 +125,44 @@ func WithStagingFactor(f float64) Option {
 	return func(c *Cluster) { c.stagingFactor = f }
 }
 
+// WithStealing enables drain-instant work stealing: whenever a device
+// goes idle while another's committed backlog exceeds threshold, the
+// idle device may re-bind committed-but-undispatched jobs whose
+// predicted completion — including the Fig. 11 staging re-charge on
+// the new link — improves by moving (DESIGN.md §10). threshold 0
+// steals whenever any backlog exists; a negative threshold is
+// rejected by New.
+func WithStealing(threshold sim.Duration) Option {
+	return func(c *Cluster) {
+		c.stealing = true
+		c.stealThreshold = threshold
+	}
+}
+
 // Cluster routes jobs across the devices of one context. A cluster
 // may execute several Run calls sequentially; each drains completely
 // before returning.
 type Cluster struct {
-	ctx           *hstreams.Context
-	scheds        []*sched.Scheduler
-	place         Policy
-	devPolicy     func() sched.Policy
-	depth         int
-	stagingFactor float64
+	ctx            *hstreams.Context
+	scheds         []*sched.Scheduler
+	place          Policy
+	devPolicy      func() sched.Policy
+	depth          int
+	stagingFactor  float64
+	stealing       bool
+	stealThreshold sim.Duration
+	stealModel     *model.Model
 
 	stagingBuf *hstreams.Buffer
 
 	// Per-run state, reset by Run.
 	queue       []*Queued
+	admitted    []*Queued // outcome index → admission record
 	outcomes    []Outcome
-	submitted   [][]int // device → per-device outcome index → cluster index
+	submitted   [][]int // device → per-device outcome index → cluster index (-1: withdrawn)
 	runFlops    float64
 	done        int
+	steals      int
 	seq         int
 	runErr      error
 	afterChange func() // test hook: runs after every dispatch loop
@@ -168,6 +192,9 @@ func New(ctx *hstreams.Context, opts ...Option) (*Cluster, error) {
 	if c.stagingFactor < 0 {
 		return nil, fmt.Errorf("cluster: negative staging factor %g", c.stagingFactor)
 	}
+	if c.stealing && c.stealThreshold < 0 {
+		return nil, fmt.Errorf("cluster: negative steal threshold %v", c.stealThreshold)
+	}
 	cfg := ctx.Config()
 	perDev := cfg.Partitions * cfg.StreamsPerPartition
 	if c.depth == 0 {
@@ -195,7 +222,26 @@ func New(ctx *hstreams.Context, opts ...Option) (*Cluster, error) {
 	if b, ok := c.place.(clusterBinder); ok {
 		b.bind(c)
 	}
+	c.bindStealModel()
 	return c, nil
+}
+
+// bindStealModel fixes the performance model the steal decisions
+// price staging and service with: the predicted policy's (possibly
+// Fit-calibrated) model when that policy routes the cluster, otherwise
+// a fresh model from the platform configs.
+func (c *Cluster) bindStealModel() {
+	if !c.stealing {
+		return
+	}
+	if p, ok := c.place.(*predicted); ok && p.m != nil {
+		c.stealModel = p.m
+		return
+	}
+	cfg := c.ctx.Config()
+	m := model.New(cfg.Device, cfg.Link)
+	m.StreamsPerPartition = cfg.StreamsPerPartition
+	c.stealModel = m
 }
 
 // Context returns the underlying platform context.
@@ -286,7 +332,9 @@ func (c *Cluster) Run(jobs []Job) (*Result, error) {
 	if r, ok := c.place.(resetter); ok {
 		r.reset()
 	}
+	c.bindStealModel()
 	c.queue = nil
+	c.admitted = make([]*Queued, len(jobs))
 	c.outcomes = make([]Outcome, len(jobs))
 	c.submitted = make([][]int, len(c.scheds))
 	c.runFlops = 0
@@ -298,6 +346,7 @@ func (c *Cluster) Run(jobs []Job) (*Result, error) {
 		}
 	}
 	c.done = 0
+	c.steals = 0
 	c.seq = 0
 	c.runErr = nil
 
@@ -322,7 +371,10 @@ func (c *Cluster) Run(jobs []Job) (*Result, error) {
 		}
 	}
 	if c.runErr != nil {
-		return nil, c.runErr
+		// Mirror the sched error path: the partial result lists every
+		// admitted job, the unrun ones flagged Failed, instead of
+		// silently dropping the committed and cluster-queued backlog.
+		return c.summarize(runStart), c.runErr
 	}
 	if c.done != len(jobs) {
 		return nil, fmt.Errorf("cluster: internal error: %d of %d jobs completed", c.done, len(jobs))
@@ -331,26 +383,52 @@ func (c *Cluster) Run(jobs []Job) (*Result, error) {
 }
 
 // admit enqueues one arriving job and runs the placement loop.
+// Arrivals after a placement error are recorded as failed outcomes
+// rather than dropped.
 func (c *Cluster) admit(job *Job, idx int) {
-	if c.runErr != nil {
-		return
-	}
 	est := job.Est
 	if est <= 0 {
 		est = c.scheds[0].Estimate(job.Tasks)
 	}
-	c.outcomes[idx] = Outcome{
-		Index:   idx,
-		ID:      job.ID,
-		Tenant:  tenantOf(job),
-		Arrival: c.ctx.Now(),
-		Est:     est,
-		Device:  -1,
-		Stream:  -1,
+	origin := job.Origin
+	if origin < 0 {
+		origin = -1
 	}
-	c.queue = append(c.queue, &Queued{Job: job, Est: est, Seq: c.seq, idx: idx})
+	c.outcomes[idx] = Outcome{
+		Index:      idx,
+		ID:         job.ID,
+		Tenant:     tenantOf(job),
+		Arrival:    c.ctx.Now(),
+		Est:        est,
+		Device:     -1,
+		Stream:     -1,
+		Origin:     origin,
+		StolenFrom: -1,
+	}
+	if c.runErr != nil {
+		c.outcomes[idx].Failed = true
+		return
+	}
+	q := &Queued{Job: job, Est: est, Seq: c.seq, idx: idx, dev: -1, devIdx: -1}
+	c.admitted[idx] = q
+	c.queue = append(c.queue, q)
 	c.seq++
 	c.dispatch()
+}
+
+// fail records the first cluster-level error and surfaces every job
+// still waiting in the cluster queue as a failed outcome; committed
+// jobs keep running (their devices are healthy) and complete normally.
+func (c *Cluster) fail(err error) {
+	if c.runErr != nil {
+		return
+	}
+	c.runErr = err
+	stranded := c.queue
+	c.queue = nil
+	for _, q := range stranded {
+		c.outcomes[q.idx].Failed = true
+	}
 }
 
 // views snapshots every device for the placement policy. Policies get
@@ -398,8 +476,8 @@ func (c *Cluster) dispatch() {
 			break
 		}
 		if pick >= len(eligible) {
-			c.runErr = fmt.Errorf("cluster: policy %s picked device index %d out of range [0,%d)",
-				c.place.Name(), pick, len(eligible))
+			c.fail(fmt.Errorf("cluster: policy %s picked device index %d out of range [0,%d)",
+				c.place.Name(), pick, len(eligible)))
 			break
 		}
 		c.queue = c.queue[1:]
@@ -412,13 +490,23 @@ func (c *Cluster) dispatch() {
 
 // route commits one job to a device: charges the staging transfer when
 // the job runs off its origin, submits to the device's scheduler, and
-// records the placement.
+// records the placement. A stolen job routes through here again — the
+// staging fields reset so the charge always reflects the final device.
 func (c *Cluster) route(q *Queued, dev int) {
 	job := q.Job
 	idx := q.idx
 	o := &c.outcomes[idx]
 	o.Device = dev
-	o.Placed = c.ctx.Now()
+	if q.dev < 0 {
+		o.Placed = c.ctx.Now()
+	} else {
+		// A re-route after a steal: Placed keeps the first commitment
+		// instant (PlaceWait measures cluster-queue time, not steals).
+		o.StolenAt = c.ctx.Now()
+	}
+	o.Staged = false
+	o.StagedBytes = 0
+	o.StagingEst = 0
 
 	tasks := job.Tasks
 	est := q.Est
@@ -449,34 +537,61 @@ func (c *Cluster) route(q *Queued, dev int) {
 	sjob := sched.Job{ID: job.ID, Tenant: job.Tenant, Tasks: tasks, Est: est}
 	si, err := c.scheds[dev].Submit(&sjob)
 	if err != nil {
-		c.runErr = fmt.Errorf("cluster: job %d on device %d: %w", job.ID, dev, err)
+		c.outcomes[idx].Failed = true
+		c.fail(fmt.Errorf("cluster: job %d on device %d: %w", job.ID, dev, err))
 		return
 	}
 	if si != len(c.submitted[dev]) {
-		c.runErr = fmt.Errorf("cluster: internal error: device %d outcome index %d, want %d", dev, si, len(c.submitted[dev]))
+		c.fail(fmt.Errorf("cluster: internal error: device %d outcome index %d, want %d", dev, si, len(c.submitted[dev])))
 		return
 	}
 	c.submitted[dev] = append(c.submitted[dev], idx)
+	q.dev = dev
+	q.devIdx = si
 }
 
 // jobDone records a completion reported by a per-device scheduler and
 // re-enters the placement loop: a drained stream may have opened
-// admission capacity for a cluster-queued job.
+// admission capacity for a cluster-queued job, and — with stealing
+// enabled — the drain instant is where committed jobs may re-bind.
 func (c *Cluster) jobDone(dev int, o sched.JobOutcome) {
-	if c.runErr != nil {
-		return
-	}
 	if o.Index >= len(c.submitted[dev]) {
-		c.runErr = fmt.Errorf("cluster: internal error: device %d reported unknown outcome %d", dev, o.Index)
+		if o.Failed {
+			// A failure fired inside a Submit that has not returned
+			// yet (an enqueue error during the synchronous dispatch):
+			// route() sees Submit's error and records the real cause —
+			// reporting "unknown outcome" here would mask it.
+			return
+		}
+		c.fail(fmt.Errorf("cluster: internal error: device %d reported unknown outcome %d", dev, o.Index))
 		return
 	}
 	idx := c.submitted[dev][o.Index]
+	if idx < 0 {
+		// A withdrawn slot: the job was stolen away and is accounted
+		// under its new device; a late failure report here is stale.
+		return
+	}
 	out := &c.outcomes[idx]
+	if o.Failed {
+		// The device scheduler aborted with this job still queued;
+		// mirror it as a failed cluster outcome and surface the
+		// device's error.
+		out.Failed = true
+		if err := c.scheds[dev].Err(); err != nil && c.runErr == nil {
+			c.fail(err)
+		}
+		return
+	}
 	out.Stream = o.Stream
 	out.Start = o.Start
 	out.Done = o.Done
 	c.done++
+	if c.runErr != nil {
+		return
+	}
 	c.dispatch()
+	c.trySteals()
 }
 
 // tenantOf returns the job's tenant label, defaulting empty to

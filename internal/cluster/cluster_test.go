@@ -1,12 +1,14 @@
 package cluster
 
 import (
+	"strings"
 	"testing"
 
 	"micstream/internal/core"
 	"micstream/internal/device"
 	"micstream/internal/hstreams"
 	"micstream/internal/model"
+	"micstream/internal/sched"
 	"micstream/internal/sim"
 )
 
@@ -432,5 +434,163 @@ func TestClusterOnFunctionalContext(t *testing.T) {
 	}
 	if !r.Jobs[0].Staged {
 		t.Fatal("expected a staged run")
+	}
+}
+
+// vandalPlacement places like least-loaded for its first good picks,
+// then returns an out-of-range device index.
+type vandalPlacement struct {
+	good  int
+	picks int
+}
+
+func (p *vandalPlacement) Name() string { return "vandal" }
+
+func (p *vandalPlacement) Place(_ *Queued, eligible []DeviceView) int {
+	p.picks++
+	if p.picks > p.good {
+		return len(eligible) + 7
+	}
+	return 0
+}
+
+func TestPlacementErrorSurfacesQueuedJobs(t *testing.T) {
+	// Regression: a placement error mid-run used to silently drop every
+	// job still waiting in the cluster queue — nil result, no outcome.
+	ctx := newCtx(t, 2, 1, 1)
+	c, err := New(ctx, WithPlacement(&vandalPlacement{good: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := sim.Time(20 * sim.Millisecond)
+	var jobs []Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, syntheticJob(i, "t", sim.Time(i)*gap, 5e8))
+	}
+	r, err := c.Run(jobs)
+	if err == nil {
+		t.Fatal("vandal placement should abort the run")
+	}
+	if r == nil {
+		t.Fatal("aborted run should still return the partial result")
+	}
+	if len(r.Jobs) != len(jobs) {
+		t.Fatalf("partial result lists %d jobs, want %d", len(r.Jobs), len(jobs))
+	}
+	ran, failed := 0, 0
+	for _, o := range r.Jobs {
+		if o.Failed {
+			failed++
+		} else {
+			ran++
+			if o.Done <= o.Start {
+				t.Errorf("completed job %d has no lifecycle", o.ID)
+			}
+		}
+	}
+	if ran != 2 || failed != 4 {
+		t.Fatalf("got %d completed + %d failed, want 2 + 4", ran, failed)
+	}
+	if r.Failed != failed {
+		t.Errorf("Result.Failed = %d, want %d", r.Failed, failed)
+	}
+}
+
+// vandalStreamPolicy is a per-device stream policy that picks an
+// invalid stream after its first good picks — the mid-run device
+// failure the cluster's two-level queue must surface, not swallow.
+type vandalStreamPolicy struct {
+	good  int
+	picks int
+}
+
+func (p *vandalStreamPolicy) Name() string { return "vandal-stream" }
+
+func (p *vandalStreamPolicy) Pick(pending []*sched.Pending, idle []int, _ *sched.View) (int, int) {
+	p.picks++
+	if p.picks > p.good {
+		return 0, -1
+	}
+	return 0, idle[0]
+}
+
+func TestDevicePolicyErrorSurfacesCommittedJobs(t *testing.T) {
+	// Device 0's stream policy fails on its third dispatch; the jobs
+	// already committed to its queue — and any jobs the cluster holds —
+	// must come back as failed outcomes with the device's error.
+	ctx := newCtx(t, 2, 1, 1)
+	c, err := New(ctx,
+		WithPlacement(Static(0)),
+		WithQueueDepth(2),
+		WithDevicePolicy(func() sched.Policy { return &vandalStreamPolicy{good: 2} }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, syntheticJob(i, "t", 0, 5e8))
+	}
+	r, err := c.Run(jobs)
+	if err == nil {
+		t.Fatal("vandal device policy should abort the run")
+	}
+	if r == nil {
+		t.Fatal("aborted run should still return the partial result")
+	}
+	if len(r.Jobs) != len(jobs) {
+		t.Fatalf("partial result lists %d jobs, want %d", len(r.Jobs), len(jobs))
+	}
+	completed := 0
+	for _, o := range r.Jobs {
+		if !o.Failed {
+			completed++
+		}
+	}
+	if completed == 0 || completed == len(jobs) {
+		t.Fatalf("%d of %d jobs completed; want a mid-run split", completed, len(jobs))
+	}
+	if r.Failed != len(jobs)-completed {
+		t.Errorf("Result.Failed = %d, want %d", r.Failed, len(jobs)-completed)
+	}
+	// Tenant aggregates must only cover the completed jobs.
+	total := 0
+	for _, ts := range r.Tenants {
+		total += ts.Jobs
+	}
+	if total != completed {
+		t.Errorf("tenant aggregates cover %d jobs, want %d", total, completed)
+	}
+}
+
+func TestEnqueueErrorKeepsRealCause(t *testing.T) {
+	// A job whose tasks fail core.EnqueuePhase (dangling dependency)
+	// errors inside the synchronous dispatch of Submit; the run must
+	// surface that cause, not a misleading "unknown outcome" internal
+	// error, and mark the job failed.
+	ctx := newCtx(t, 2, 1, 1)
+	c, err := New(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Job{
+		ID: 0,
+		Tasks: []*core.Task{{
+			ID:         0,
+			Cost:       device.KernelCost{Name: "bad", Flops: 1e8},
+			DependsOn:  []int{99},
+			StreamHint: -1,
+		}},
+		Origin: -1,
+	}
+	r, err := c.Run([]Job{bad})
+	if err == nil {
+		t.Fatal("dangling dependency should abort the run")
+	}
+	if got := err.Error(); !strings.Contains(got, "depend") && !strings.Contains(got, "99") {
+		t.Errorf("error %q should name the real enqueue failure, not an internal error", got)
+	}
+	if r == nil || len(r.Jobs) != 1 || !r.Jobs[0].Failed {
+		t.Errorf("partial result should flag the job failed, got %+v", r)
 	}
 }

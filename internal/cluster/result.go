@@ -25,9 +25,26 @@ type Outcome struct {
 	// Staged reports whether the job ran off its origin device and
 	// paid the host-staging transfer; StagedBytes is the charged
 	// volume and StagingEst that transfer's modeled link occupancy.
+	// After a steal these reflect the final device.
 	Staged      bool
 	StagedBytes int64
 	StagingEst  sim.Duration
+	// Origin echoes the device holding the job's inputs (-1:
+	// host-resident), so final placement is auditable per job.
+	Origin int
+	// Stolen reports the job was withdrawn from its committed device
+	// at a drain instant and re-bound; StolenFrom is that device (-1
+	// when never stolen) and StolenAt the steal instant. A stolen job
+	// dispatches immediately on the thief, so a job is stolen at most
+	// once. Device names where the job ran; Placed stays the first
+	// commitment instant.
+	Stolen     bool
+	StolenFrom int
+	StolenAt   sim.Time
+	// Failed marks a job the run admitted but could never place or
+	// run because a scheduling error aborted the run; its lifecycle
+	// fields past Arrival are meaningless.
+	Failed bool
 }
 
 // Wait is the total queueing delay (dispatch minus arrival).
@@ -56,6 +73,7 @@ func (o Outcome) schedOutcome() sched.JobOutcome {
 		Start:   o.Start,
 		Done:    o.Done,
 		Est:     o.Est,
+		Failed:  o.Failed,
 	}
 }
 
@@ -96,6 +114,14 @@ type Result struct {
 	// placement caused — the Fig. 11 shortfall, measured.
 	StagedJobs  int
 	StagedBytes int64
+	// Steals counts drain-instant re-bindings of committed jobs
+	// (0 unless the cluster runs WithStealing); every stolen job
+	// counts once — it dispatches on the thief immediately, so it can
+	// never be re-stolen.
+	Steals int
+	// Failed counts jobs the run admitted but never ran because a
+	// scheduling error aborted it (Run also returns the error).
+	Failed int
 }
 
 // Device returns the aggregate for one device, or nil.
@@ -128,10 +154,14 @@ func (c *Cluster) summarize(runStart sim.Time) *Result {
 	}
 	schedOutcomes := make([]sched.JobOutcome, len(c.outcomes))
 	for i, o := range c.outcomes {
+		schedOutcomes[i] = o.schedOutcome()
+		if o.Failed {
+			r.Failed++
+			continue
+		}
 		if o.Done > end {
 			end = o.Done
 		}
-		schedOutcomes[i] = o.schedOutcome()
 		ds := &devs[o.Device]
 		ds.Jobs++
 		ds.Busy += o.Service()
@@ -141,6 +171,7 @@ func (c *Cluster) summarize(runStart sim.Time) *Result {
 			r.StagedBytes += o.StagedBytes
 		}
 	}
+	r.Steals = c.steals
 	r.Makespan = end.Sub(runStart)
 	r.Tenants = sched.AggregateTenants(schedOutcomes, r.Makespan)
 	for d := range devs {

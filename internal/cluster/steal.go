@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"micstream/internal/model"
+	"micstream/internal/sim"
+)
+
+// Work stealing re-binds committed-but-undispatched jobs at drain
+// instants (DESIGN.md §10). Placement commits a job to a device when it
+// is admitted; under an imbalanced mix one device can drain while
+// another still holds a deep committed queue — the Fig. 11 shape where
+// multi-MIC scaling is lost. With WithStealing enabled, every drain
+// instant runs a steal pass: an idle device scans the deepest-backlog
+// device for a queued job whose predicted completion improves by
+// moving, re-charges the Fig. 11 staging term against the new link
+// (and un-charges the old one — the withdrawn job never started its
+// staged transfer), withdraws it and re-routes it.
+//
+// Determinism: steal passes run only at drain instants (job-completion
+// events), scan thieves in ascending device order, pick the strictly
+// deepest victim backlog (ties keep the lowest device index), and pick
+// the strictly largest predicted gain (ties keep the earliest queued
+// job) — the same tie-break discipline as the rest of the scheduler,
+// so runs stay bit-identical across repeats (DESIGN.md §6).
+
+// trySteals runs steal passes until no idle device can improve any
+// committed job by re-binding it. Under the work-conserving built-in
+// policies a non-empty cluster queue implies no idle stream anywhere,
+// so no thief exists and the pass is a cheap no-op; under a deferring
+// (pinning) policy idle devices and a backed-up queue can coexist,
+// and stealing deliberately overrides the pin — enabling WithStealing
+// opts the cluster into re-binding. Each successful pass re-runs the
+// dispatch loop: a withdraw frees committed capacity the cluster
+// queue may late-bind into.
+func (c *Cluster) trySteals() {
+	if !c.stealing || c.runErr != nil {
+		return
+	}
+	for moved := true; moved && c.runErr == nil; {
+		moved = false
+		for thief, s := range c.scheds {
+			if s.InFlight() >= s.NumStreams() {
+				continue
+			}
+			if c.stealInto(thief) {
+				moved = true
+			}
+		}
+		if moved {
+			c.dispatch()
+		}
+	}
+}
+
+// stealInto attempts one steal for an idle thief device: choose the
+// victim with the deepest committed backlog above the threshold, then
+// the queued job with the largest predicted win from moving now rather
+// than waiting out the victim's queue. Returns whether a job moved.
+func (c *Cluster) stealInto(thief int) bool {
+	victim := -1
+	var victimBacklog sim.Duration
+	for d, s := range c.scheds {
+		if d == thief {
+			continue
+		}
+		if b := s.PendingBacklog(); b > c.stealThreshold && b > victimBacklog {
+			victim, victimBacklog = d, b
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+
+	now := c.ctx.Now()
+	ready := c.scheds[victim].EarliestFree()
+	if ready < now {
+		ready = now
+	}
+	streams := sim.Duration(c.scheds[victim].NumStreams())
+	best := -1
+	var bestGain sim.Duration
+	var ahead sim.Duration
+	for _, pv := range c.scheds[victim].PendingJobs() {
+		idx := c.submitted[victim][pv.Index]
+		if idx < 0 {
+			continue
+		}
+		q := c.admitted[idx]
+		// Predicted completion if the job waits out the queue ahead of
+		// it on the victim: next drain, the backlog spread over the
+		// victim's streams, then its own service (pv.Est already
+		// includes any staging charged at the original commitment).
+		stay := ready.Add(ahead / streams).Add(pv.Est)
+		// Predicted completion if it moves now: service from scratch
+		// plus the staging re-charge against the thief's link.
+		move := now.Add(q.Est).Add(c.stealStagingEst(q.Job, thief))
+		ahead += pv.Est
+		// Only strictly positive predicted gains steal. A zero gain is
+		// almost always the estimate clamp of an overrunning in-flight
+		// job (EarliestFree floors at now) — a coin flip in reality,
+		// because the move estimate cannot see the partition and link
+		// contention the stolen job adds on the thief.
+		if gain := stay.Sub(move); gain > 0 && (best < 0 || gain > bestGain) {
+			best, bestGain = idx, gain
+		}
+	}
+	if best < 0 {
+		return false
+	}
+
+	q := c.admitted[best]
+	if _, ok := c.scheds[victim].Withdraw(q.devIdx); !ok {
+		// Cannot happen: the job was listed as pending this instant.
+		return false
+	}
+	c.submitted[victim][q.devIdx] = -1
+	o := &c.outcomes[q.idx]
+	o.Stolen = true
+	o.StolenFrom = q.dev
+	c.steals++
+	c.route(q, thief)
+	return c.runErr == nil
+}
+
+// stealStagingEst prices the staging a steal would re-charge, through
+// the analytic model's multi-device form: a staging-only
+// ClusterWorkload evaluated by PredictCluster, so the estimate carries
+// the same calibrated link scales and shared-host contention as every
+// other Fig. 11 staging prediction. The model charges every staged
+// byte as two crossings, while the cluster's actual charge is
+// stagingFactor × bytes in one transfer — so the model is handed half
+// the charged volume and the two conventions price the same traffic
+// even under a non-default WithStagingFactor. Zero when the job would
+// land on its origin (the un-charge case) or carries no
+// device-resident data.
+func (c *Cluster) stealStagingEst(job *Job, dev int) sim.Duration {
+	if job.Origin < 0 || job.Origin == dev || job.StagingBytes <= 0 {
+		return 0
+	}
+	charged := c.stagingCharge(job.StagingBytes)
+	if charged <= 0 {
+		return 0
+	}
+	devices := len(c.scheds)
+	if devices < 2 {
+		devices = 2
+	}
+	cw := model.ClusterWorkload{
+		Workload:     model.Workload{Name: "steal/staging", Phases: func(int) []model.Phase { return nil }},
+		StagingBytes: func(int) int64 { return (charged + 1) / 2 },
+	}
+	if pred, err := c.stealModel.PredictCluster(cw, devices, 1, 1); err == nil && pred.StagingTime > 0 {
+		return pred.StagingTime
+	}
+	return c.stagingTime(job.StagingBytes)
+}

@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-hotspot-pipe", "ext-multimic", "ext-taxonomy",
 		"fairness", "imbalance",
 		"modelval", "guided",
-		"placement", "cluster-scaling",
+		"placement", "cluster-scaling", "stealing",
 	}
 	ids := IDs()
 	got := map[string]bool{}

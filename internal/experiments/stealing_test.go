@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// TestStealingClosesGap asserts the headline of the work-stealing
+// study — the ISSUE's acceptance contract: on at least one imbalanced
+// mix, drain-instant re-binding closes ≥ 50% of the remaining gap
+// between predicted placement and the best static single-device
+// pinning's linear projection, and on every mix stealing never loses
+// to predicted-only.
+func TestStealingClosesGap(t *testing.T) {
+	rows, err := runStealingStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(stealingScenarios) {
+		t.Fatalf("stealing study has %d rows, want %d", len(rows), len(stealingScenarios))
+	}
+	bestClosed := -1.0
+	stole := false
+	for _, r := range rows {
+		if r.steal > r.pred {
+			t.Errorf("%s: stealing mean makespan %.3f ms loses to predicted-only %.3f ms", r.name, r.steal, r.pred)
+		}
+		if r.gapClosed > bestClosed {
+			bestClosed = r.gapClosed
+		}
+		if r.steals > 0 {
+			stole = true
+		}
+	}
+	if bestClosed < 0.5 {
+		t.Errorf("best gap closure %.0f%%, want ≥ 50%% on at least one mix", bestClosed*100)
+	}
+	if !stole {
+		t.Error("no scenario recorded any steals")
+	}
+}
+
+// TestStealingRegistered asserts the registry wiring and table shape.
+func TestStealingRegistered(t *testing.T) {
+	if _, ok := Lookup("stealing"); !ok {
+		t.Fatal("experiment \"stealing\" not registered")
+	}
+	tab, err := Stealing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 7 || len(tab.Rows) != len(stealingScenarios) {
+		t.Fatalf("stealing table is %d×%d, want %d×7", len(tab.Rows), len(tab.Columns), len(stealingScenarios))
+	}
+}

@@ -285,6 +285,44 @@ func (s *Scheduler) Submit(job *Job) (int, error) {
 	return idx, s.runErr
 }
 
+// PendingView describes one admitted-but-undispatched job to an
+// embedding layer: its outcome index (as returned by Submit), the
+// service estimate dispatch accounting uses (including any staging
+// transfer the embedder prepended), and the admission sequence number.
+type PendingView struct {
+	Index int
+	Est   sim.Duration
+	Seq   int
+}
+
+// PendingJobs snapshots the admission queue in admission order — the
+// per-job view the cluster layer's work stealing chooses victims from,
+// where PendingBacklog only reports the queue's total.
+func (s *Scheduler) PendingJobs() []PendingView {
+	out := make([]PendingView, len(s.pending))
+	for i, p := range s.pending {
+		out[i] = PendingView{Index: p.idx, Est: p.Est, Seq: p.Seq}
+	}
+	return out
+}
+
+// Withdraw removes the admitted-but-undispatched job with the given
+// outcome index from the queue and returns the submitted job. It
+// reports false when the index is unknown or the job has already
+// dispatched — a withdrawn job must still be queued. The outcome slot
+// remains allocated but permanently unrun; the cluster layer withdraws
+// committed jobs at drain instants to re-bind them elsewhere
+// (DESIGN.md §10).
+func (s *Scheduler) Withdraw(idx int) (*Job, bool) {
+	for i, p := range s.pending {
+		if p.idx == idx {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return p.Job, true
+		}
+	}
+	return nil, false
+}
+
 // SetOnDone registers fn to run at every job-completion instant, after
 // the scheduler has updated its own state and re-entered the dispatch
 // loop. The cluster layer uses it to place queued jobs at drain
@@ -349,7 +387,9 @@ func (s *Scheduler) EarliestFree() sim.Time {
 // configured policy until all complete, and returns the per-job and
 // per-tenant accounting. Arrival times earlier than the context's
 // current virtual time are clamped to it (a job cannot arrive in the
-// past of a composed run).
+// past of a composed run). When a dispatch error aborts the run, Run
+// returns the error together with a partial Result in which every
+// admitted-but-unrun job is flagged Failed.
 func (s *Scheduler) Run(jobs []Job) (*Result, error) {
 	for i := range jobs {
 		if err := validateJob(&jobs[i]); err != nil {
@@ -375,7 +415,11 @@ func (s *Scheduler) Run(jobs []Job) (*Result, error) {
 	}
 	eng.Run()
 	if s.runErr != nil {
-		return nil, s.runErr
+		// The partial result surfaces every admitted job — the ones the
+		// aborted dispatch loop never ran are flagged Failed — so the
+		// caller can account for the whole submission, not just the
+		// jobs that happened to finish before the error.
+		return s.summarize(runStart), s.runErr
 	}
 	if s.done != len(jobs) {
 		return nil, fmt.Errorf("sched: internal error: %d of %d jobs completed", s.done, len(jobs))
@@ -383,11 +427,10 @@ func (s *Scheduler) Run(jobs []Job) (*Result, error) {
 	return s.summarize(runStart), nil
 }
 
-// admit enqueues one arriving job and runs the dispatch loop.
+// admit enqueues one arriving job and runs the dispatch loop. Arrivals
+// after a dispatch error are recorded as failed outcomes immediately —
+// dropping them silently would understate the submission.
 func (s *Scheduler) admit(job *Job, idx int) {
-	if s.runErr != nil {
-		return
-	}
 	est := job.Est
 	if est <= 0 {
 		est = s.Estimate(job.Tasks)
@@ -400,9 +443,35 @@ func (s *Scheduler) admit(job *Job, idx int) {
 		Est:     est,
 		Stream:  -1,
 	}
+	if s.runErr != nil {
+		s.outcomes[idx].Failed = true
+		if s.onDone != nil {
+			s.onDone(s.outcomes[idx])
+		}
+		return
+	}
 	s.pending = append(s.pending, &Pending{Job: job, Est: est, Seq: s.seq, idx: idx})
 	s.seq++
 	s.dispatch()
+}
+
+// fail records the first dispatch error and surfaces every queued job
+// as a failed outcome: the run cannot dispatch them anymore, and
+// leaving them silently pending would drop them from Outcomes() and
+// never fire onDone — the embedding layer would wait forever.
+func (s *Scheduler) fail(err error) {
+	if s.runErr != nil {
+		return
+	}
+	s.runErr = err
+	stranded := s.pending
+	s.pending = nil
+	for _, p := range stranded {
+		s.outcomes[p.idx].Failed = true
+		if s.onDone != nil {
+			s.onDone(s.outcomes[p.idx])
+		}
+	}
 }
 
 // dispatch drains the admission queue onto idle streams. It runs until
@@ -426,11 +495,11 @@ func (s *Scheduler) dispatch() {
 		}
 		pi, stream := s.policy.Pick(s.pending, idle, v)
 		if pi < 0 || pi >= len(s.pending) {
-			s.runErr = fmt.Errorf("sched: policy %s picked job index %d out of range [0,%d)", s.policy.Name(), pi, len(s.pending))
+			s.fail(fmt.Errorf("sched: policy %s picked job index %d out of range [0,%d)", s.policy.Name(), pi, len(s.pending)))
 			return
 		}
 		if stream < 0 || stream >= len(s.busy) || s.busy[stream] {
-			s.runErr = fmt.Errorf("sched: policy %s picked stream %d which is not idle", s.policy.Name(), stream)
+			s.fail(fmt.Errorf("sched: policy %s picked stream %d which is not idle", s.policy.Name(), stream))
 			return
 		}
 		p := s.pending[pi]
@@ -460,7 +529,13 @@ func (s *Scheduler) start(p *Pending, stream int) {
 	}
 	ev, err := core.EnqueuePhase(s.ctx, tasks)
 	if err != nil {
-		s.runErr = fmt.Errorf("sched: job %d: %w", p.Job.ID, err)
+		// The job claimed its stream but will never complete there;
+		// mark it failed before stranding the queue behind it.
+		s.outcomes[idx].Failed = true
+		s.fail(fmt.Errorf("sched: job %d: %w", p.Job.ID, err))
+		if s.onDone != nil {
+			s.onDone(s.outcomes[idx])
+		}
 		return
 	}
 	// Every action of the job sits on one FIFO stream, so the last
@@ -533,6 +608,11 @@ type JobOutcome struct {
 	Arrival, Start, Done sim.Time
 	// Est is the service estimate the policies saw.
 	Est sim.Duration
+	// Failed marks a job the run admitted but could never finish
+	// because a dispatch error aborted scheduling; its Start/Done
+	// fields are meaningless. Failed jobs appear in Result.Jobs so no
+	// admission is silently dropped.
+	Failed bool
 }
 
 // Wait is the queueing delay (dispatch minus arrival).
@@ -579,6 +659,9 @@ type Result struct {
 	// Makespan is the span from the run's start to the last
 	// completion.
 	Makespan sim.Duration
+	// Failed counts jobs the run admitted but never ran because a
+	// dispatch error aborted scheduling (Run also returns the error).
+	Failed int
 	// JainSlowdown is Jain's fairness index over per-tenant mean
 	// slowdowns: 1 when every tenant suffers equal queueing
 	// degradation.
@@ -604,11 +687,15 @@ func (r *Result) Tenant(name string) *TenantStats {
 
 // AggregateTenants computes per-tenant aggregates over completed
 // outcomes, sorted by tenant label; makespan is the run span the
-// throughput denominators use. The cluster layer reuses it to account
-// jobs that ran on several per-device schedulers.
+// throughput denominators use. Failed outcomes are excluded — they
+// have no lifecycle to aggregate. The cluster layer reuses it to
+// account jobs that ran on several per-device schedulers.
 func AggregateTenants(outcomes []JobOutcome, makespan sim.Duration) []TenantStats {
 	perTenant := map[string][]JobOutcome{}
 	for _, o := range outcomes {
+		if o.Failed {
+			continue
+		}
 		perTenant[o.Tenant] = append(perTenant[o.Tenant], o)
 	}
 	names := make([]string, 0, len(perTenant))
@@ -650,6 +737,10 @@ func (s *Scheduler) summarize(runStart sim.Time) *Result {
 	r := &Result{Policy: s.policy.Name(), Jobs: s.outcomes}
 	end := runStart
 	for _, o := range s.outcomes {
+		if o.Failed {
+			r.Failed++
+			continue
+		}
 		if o.Done > end {
 			end = o.Done
 		}

@@ -519,3 +519,136 @@ func (vandalPolicy) Pick(pending []*Pending, idle []int, v *View) (int, int) {
 	}
 	return 0, idle[0]
 }
+
+// saboteurPolicy behaves like FIFO for its first good picks, then
+// returns an invalid stream — the mid-run policy failure the error
+// path must survive without silently dropping admitted jobs.
+type saboteurPolicy struct {
+	good  int
+	picks int
+}
+
+func (p *saboteurPolicy) Name() string { return "saboteur" }
+
+func (p *saboteurPolicy) Pick(pending []*Pending, idle []int, _ *View) (int, int) {
+	p.picks++
+	if p.picks > p.good {
+		return 0, -1
+	}
+	return 0, idle[0]
+}
+
+func TestPolicyErrorSurfacesPendingJobs(t *testing.T) {
+	// Regression: a policy error mid-run used to strand every job still
+	// in the admission queue — no outcome, no onDone, a nil Result.
+	// Jobs arrive far enough apart that the first two complete before
+	// the saboteur's third pick aborts the run.
+	ctx := newCtx(t, 1)
+	s, err := New(ctx, WithPolicy(&saboteurPolicy{good: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []JobOutcome
+	s.SetOnDone(func(o JobOutcome) { fired = append(fired, o) })
+	gap := sim.Time(20 * sim.Millisecond)
+	jobs := []Job{
+		syntheticJob(0, "a", 0, 5e8),
+		syntheticJob(1, "b", gap, 5e8),
+		syntheticJob(2, "a", 2*gap, 5e8),
+		syntheticJob(3, "b", 2*gap, 5e8),
+		syntheticJob(4, "a", 3*gap, 5e8),
+	}
+	r, err := s.Run(jobs)
+	if err == nil {
+		t.Fatal("saboteur policy should abort the run")
+	}
+	if r == nil {
+		t.Fatal("aborted run should still return the partial result")
+	}
+	if len(r.Jobs) != len(jobs) {
+		t.Fatalf("partial result lists %d jobs, want %d", len(r.Jobs), len(jobs))
+	}
+	ran, failed := 0, 0
+	for _, o := range r.Jobs {
+		switch {
+		case o.Failed:
+			failed++
+			if o.Done != 0 {
+				t.Errorf("failed job %d has completion time %v", o.ID, o.Done)
+			}
+		default:
+			ran++
+			if o.Done <= o.Start {
+				t.Errorf("completed job %d has no lifecycle", o.ID)
+			}
+		}
+	}
+	if ran != 2 || failed != 3 {
+		t.Fatalf("got %d completed + %d failed, want 2 + 3", ran, failed)
+	}
+	if r.Failed != failed {
+		t.Errorf("Result.Failed = %d, want %d", r.Failed, failed)
+	}
+	if len(fired) != len(jobs) {
+		t.Errorf("onDone fired %d times, want one per admitted job (%d)", len(fired), len(jobs))
+	}
+	// Failed jobs must not pollute the per-tenant latency aggregates.
+	for _, ts := range r.Tenants {
+		if ts.Jobs != 1 {
+			t.Errorf("tenant %s aggregates %d jobs, want only the completed one", ts.Tenant, ts.Jobs)
+		}
+	}
+}
+
+func TestWithdrawRemovesPendingJob(t *testing.T) {
+	// Embedded mode: one stream, three simultaneous submissions — the
+	// first dispatches, the other two queue. Withdrawing the middle job
+	// must remove exactly it, and a dispatched job must refuse.
+	ctx := newCtx(t, 1)
+	s, err := New(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	jobs := []Job{
+		syntheticJob(0, "a", 0, 5e8),
+		syntheticJob(1, "b", 0, 5e8),
+		syntheticJob(2, "c", 0, 5e8),
+	}
+	var idxs []int
+	for i := range jobs {
+		idx, err := s.Submit(&jobs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxs = append(idxs, idx)
+	}
+	if got := s.PendingJobs(); len(got) != 2 || got[0].Index != idxs[1] || got[1].Index != idxs[2] {
+		t.Fatalf("PendingJobs = %+v, want the two queued jobs in admission order", got)
+	}
+	if _, ok := s.Withdraw(idxs[0]); ok {
+		t.Fatal("withdrawing a dispatched job should fail")
+	}
+	if job, ok := s.Withdraw(idxs[1]); !ok || job.ID != 1 {
+		t.Fatalf("Withdraw(queued) = %v, %v; want job 1", job, ok)
+	}
+	if _, ok := s.Withdraw(idxs[1]); ok {
+		t.Fatal("double withdraw should fail")
+	}
+	if s.QueueDepth() != 1 {
+		t.Fatalf("queue depth %d after withdraw, want 1", s.QueueDepth())
+	}
+	ctx.Drain()
+	done := 0
+	for _, o := range s.Outcomes() {
+		if o.Done > 0 {
+			done++
+		}
+	}
+	if done != 2 {
+		t.Fatalf("%d jobs completed, want 2 (one withdrawn)", done)
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+}

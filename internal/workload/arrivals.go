@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Arrival processes for the online scheduler (internal/sched): each
@@ -95,9 +96,17 @@ func HeavyTailArrivals(seed uint64, n int, minGapNs, alpha float64) ([]int64, er
 // process whose rate swings sinusoidally around the base rate 1/mean:
 // rate(t) = (1 + amplitude·sin(2πt/period)) / meanGapNs. Amplitude in
 // [0, 1) keeps the rate positive; 0.8 gives the 9:1 peak-to-trough
-// swing of a day/night request cycle compressed into one period. Gaps
-// are exponential draws stretched by the instantaneous rate, so the
-// process stays a pure function of its seed.
+// swing of a day/night request cycle compressed into one period.
+//
+// The n arrivals are the order statistics of the process conditioned
+// on n points in the window [0, n·meanGapNs] — each point drawn from
+// the normalized intensity by inverting the cumulative rate Λ(t) with
+// deterministic bisection, then sorted. Conditioning pins the offered
+// load: n arrivals really span the window whose length the mean gap
+// implies. The earlier stretched-gap approximation ran up to 7% fast
+// on short windows (it evaluated the rate only at each gap's start,
+// and a phase-0 start front-loads the cycle's fast half). The process
+// remains a pure function of its seed.
 func DiurnalArrivals(seed uint64, n int, meanGapNs, periodNs, amplitude float64) ([]int64, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("workload: negative arrival count %d", n)
@@ -108,12 +117,33 @@ func DiurnalArrivals(seed uint64, n int, meanGapNs, periodNs, amplitude float64)
 	if amplitude < 0 || amplitude >= 1 {
 		return nil, fmt.Errorf("workload: amplitude must be in [0,1), got %g", amplitude)
 	}
+	// Cumulative rate normalized by the base rate: Λ(t)·meanGapNs.
+	cum := func(t float64) float64 {
+		return t + amplitude*periodNs/(2*math.Pi)*(1-math.Cos(2*math.Pi*t/periodNs))
+	}
 	rng := NewRNG(seed)
+	window := float64(n) * meanGapNs
+	total := cum(window)
+	ts := make([]float64, n)
+	for i := range ts {
+		target := rng.Float64() * total
+		// Λ is strictly increasing, so a fixed-iteration bisection is
+		// exact enough (sub-nanosecond after ~60 halvings) and, unlike
+		// Newton, bit-identical regardless of how flat the trough is.
+		lo, hi := 0.0, window
+		for k := 0; k < 64; k++ {
+			mid := (lo + hi) / 2
+			if cum(mid) < target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		ts[i] = (lo + hi) / 2
+	}
+	sort.Float64s(ts)
 	out := make([]int64, n)
-	t := 0.0
-	for i := range out {
-		rate := 1 + amplitude*math.Sin(2*math.Pi*t/periodNs)
-		t += expGap(rng, meanGapNs) / rate
+	for i, t := range ts {
 		out[i] = int64(t)
 	}
 	return out, nil
@@ -124,9 +154,17 @@ func DiurnalArrivals(seed uint64, n int, meanGapNs, periodNs, amplitude float64)
 // tends to be followed by another big one (rho near 1) instead of the
 // independent bursts of BurstyArrivals. Burst k's length is
 // max(1, round(rho·L[k-1] + (1-rho)·2u·meanLen)) for u uniform in
-// [0, 1); within-burst gaps are Exp(withinGapNs) and bursts are
-// separated by Exp(betweenGapNs) silences.
-func CorrelatedBurstArrivals(seed uint64, n int, meanLen, rho, withinGapNs, betweenGapNs float64) ([]int64, error) {
+// [0, 1); within-burst gaps are Exp(withinGapNs).
+//
+// The process is rate-matched to meanGapNs: each burst's preceding
+// silence is Exp(L·meanGapNs − (L−1)·withinGapNs) for the burst's
+// realized length L, so every burst spans L·meanGapNs in expectation
+// regardless of how the AR(1) chain wanders — a fixed silence would
+// drift the offered rate with the burst-length distribution (Jensen's
+// inequality over 1/L, up to +8% mean gap on short streams). The last
+// burst is clipped to the remaining arrival count before its silence
+// is drawn, so a truncated burst is not charged a full-length one.
+func CorrelatedBurstArrivals(seed uint64, n int, meanLen, rho, withinGapNs, meanGapNs float64) ([]int64, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("workload: negative arrival count %d", n)
 	}
@@ -136,8 +174,11 @@ func CorrelatedBurstArrivals(seed uint64, n int, meanLen, rho, withinGapNs, betw
 	if rho < 0 || rho >= 1 {
 		return nil, fmt.Errorf("workload: correlation must be in [0,1), got %g", rho)
 	}
-	if withinGapNs <= 0 || betweenGapNs <= 0 {
-		return nil, fmt.Errorf("workload: gaps must be positive, got %g and %g", withinGapNs, betweenGapNs)
+	if withinGapNs <= 0 || meanGapNs <= 0 {
+		return nil, fmt.Errorf("workload: gaps must be positive, got %g and %g", withinGapNs, meanGapNs)
+	}
+	if withinGapNs >= meanGapNs {
+		return nil, fmt.Errorf("workload: within-burst gap %g must be below the mean gap %g", withinGapNs, meanGapNs)
 	}
 	rng := NewRNG(seed)
 	out := make([]int64, n)
@@ -151,8 +192,11 @@ func CorrelatedBurstArrivals(seed uint64, n int, meanLen, rho, withinGapNs, betw
 		if burst < 1 {
 			burst = 1
 		}
-		t += expGap(rng, betweenGapNs)
-		for k := 0; k < burst && i < n; k++ {
+		if burst > n-i {
+			burst = n - i
+		}
+		t += expGap(rng, float64(burst)*meanGapNs-float64(burst-1)*withinGapNs)
+		for k := 0; k < burst; k++ {
 			if k > 0 {
 				t += expGap(rng, withinGapNs)
 			}
@@ -173,9 +217,14 @@ func Names() []string {
 // a mean inter-arrival gap — the common interface the scenario
 // builders and the -arrival CLI flags use. Shape parameters are fixed
 // per process: bursty runs bursts of 4 with 10× tighter intra-burst
-// spacing, heavytail is Pareto(mean/3, 1.5), diurnal swings ±0.8
+// spacing, heavytail is a capped Pareto(·, 1.5), diurnal swings ±0.8
 // around the base rate over one window-length period, and correlated
 // chains bursts of mean length 6 with rho = 0.7.
+//
+// Every kind is rate-matched: its expected mean inter-arrival gap is
+// meanGapNs, so "-arrival" comparisons in micsched/miccluster compare
+// the same offered load under different burstiness shapes (asserted
+// within 5% by TestArrivalsRateMatched).
 func Arrivals(kind string, seed uint64, n int, meanGapNs float64) ([]int64, error) {
 	switch kind {
 	case "poisson":
@@ -187,18 +236,22 @@ func Arrivals(kind string, seed uint64, n int, meanGapNs float64) ([]int64, erro
 		between := 4*meanGapNs - 3*within
 		return BurstyArrivals(seed, n, 4, within, between)
 	case "heavytail":
-		// Pareto(min, 1.5) has mean 3·min, so min = mean/3.
-		return HeavyTailArrivals(seed, n, meanGapNs/3, 1.5)
+		// HeavyTailArrivals caps gaps at 1000× the minimum, which
+		// trims the Pareto tail: E[min(X, 1000·min)] for alpha = 1.5
+		// is min·(1 + 2·(1 − 1000^{-1/2})) ≈ 2.9368·min, not the
+		// uncapped 3·min. Derive min from the capped mean or the
+		// offered load runs ~2% light.
+		const alpha, cap = 1.5, 1000.0
+		capped := 1 + (1-math.Pow(cap, 1-alpha))/(alpha-1)
+		return HeavyTailArrivals(seed, n, meanGapNs/capped, alpha)
 	case "diurnal":
 		// One full day/night cycle across the n-arrival window.
 		return DiurnalArrivals(seed, n, meanGapNs, float64(n)*meanGapNs, 0.8)
 	case "correlated":
-		// Mean burst of 6 at 10× tighter spacing; the inter-burst
+		// Mean burst of 6 at 10× tighter spacing; the per-burst
 		// silence restores the configured average rate.
 		const meanLen, rho = 6, 0.7
-		within := meanGapNs / 10
-		between := meanLen*meanGapNs - (meanLen-1)*within
-		return CorrelatedBurstArrivals(seed, n, meanLen, rho, within, between)
+		return CorrelatedBurstArrivals(seed, n, meanLen, rho, meanGapNs/10, meanGapNs)
 	default:
 		return nil, fmt.Errorf("workload: unknown arrival process %q (have %v)", kind, Names())
 	}

@@ -51,7 +51,7 @@ func TestDiurnalArrivalsGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []int64{1353110, 1450425, 1631957, 1867335, 1889598, 3058162}
+	want := []int64{209815, 740856, 1167968, 1389446, 2923924, 4239935}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("DiurnalArrivals(42, 6, 1e6, 6e6, 0.8) = %v, want %v", got, want)
 	}
@@ -81,7 +81,7 @@ func TestCorrelatedBurstArrivalsGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []int64{871233, 903889, 946078, 11079491, 11104133, 13181188, 13277548, 13300477}
+	want := []int64{2578851, 2611507, 2653696, 22717855, 22742496, 28890579, 28986938, 29009867}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("CorrelatedBurstArrivals(42, 8, 3, 0.7, 1e5, 5e6) = %v, want %v", got, want)
 	}
@@ -97,8 +97,9 @@ func TestArrivalsDispatcherGolden(t *testing.T) {
 	// determinism contract: scenario arrival streams must never move
 	// under a refactor.
 	cases := map[string][]int64{
-		"diurnal":    {494017, 505571, 2072090, 2692415, 3437412},
-		"correlated": {93119, 324141, 411591, 471820, 500512},
+		"diurnal":    {80672, 1284743, 1459736, 1845100, 4225050},
+		"correlated": {77881, 308903, 396354, 456582, 485275},
+		"heavytail":  {473331, 817708, 2406290, 3016286, 3525045},
 	}
 	for kind, want := range cases {
 		got, err := Arrivals(kind, 7, 5, 1e6)
@@ -143,6 +144,40 @@ func TestNewArrivalErrors(t *testing.T) {
 	}
 	if _, err := CorrelatedBurstArrivals(1, 5, 3, 0.5, 0, 5e6); err == nil {
 		t.Error("zero within gap should error")
+	}
+	if _, err := CorrelatedBurstArrivals(1, 5, 3, 0.5, 5e6, 5e6); err == nil {
+		t.Error("within gap at or above the mean gap should error")
+	}
+}
+
+// TestArrivalsRateMatched asserts the offered-load contract of the
+// Arrivals dispatcher: every kind's empirical mean inter-arrival gap
+// is within 5% of the requested meanGapNs, at the short stream lengths
+// the CLI scenarios actually use, averaged over seeds. Before the
+// generators were rate-matched, "correlated" ran 8% slow (a fixed
+// inter-burst silence over AR(1)-drifting burst lengths) and "diurnal"
+// 7% fast (gap stretching instead of exact thinning) at n = 48 — so
+// -arrival comparisons compared different offered loads.
+func TestArrivalsRateMatched(t *testing.T) {
+	const (
+		n     = 48
+		mean  = 1e6
+		seeds = 400
+	)
+	for _, kind := range Names() {
+		var total float64
+		for seed := uint64(1); seed <= seeds; seed++ {
+			xs, err := Arrivals(kind, seed, n, mean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(xs[n-1]) / n
+		}
+		got := total / seeds
+		if ratio := got / mean; ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("%s: empirical mean gap %.0f ns is %.1f%% off the requested %.0f ns",
+				kind, got, (ratio-1)*100, mean)
+		}
 	}
 }
 
