@@ -11,6 +11,7 @@ import (
 	"micstream/internal/hstreams"
 	"micstream/internal/model"
 	"micstream/internal/pcie"
+	"micstream/internal/residency"
 	"micstream/internal/sched"
 	"micstream/internal/sim"
 	"micstream/internal/workload"
@@ -294,6 +295,14 @@ type (
 	// ClusterTuneResult is the outcome of a joint device-count and
 	// granularity search.
 	ClusterTuneResult = core.ClusterTuneResult
+	// Region declares a (dataset, tile-range) a cluster job reads or
+	// writes — the unit the residency staging cache tracks per device
+	// (DESIGN.md §11).
+	Region = residency.Region
+	// ResidencyStats are the staging cache's cumulative counters
+	// (hits, cold misses, evictions, invalidations), spanning every
+	// Run of the cluster; per-run splits live on ClusterResult.
+	ResidencyStats = residency.Stats
 )
 
 // ClusterOption configures NewCluster: the platform shape
@@ -340,6 +349,16 @@ func WithClusterQueueDepth(n int) ClusterOption {
 // (default cluster.DefaultStagingFactor: the tile crosses PCIe twice).
 func WithClusterStagingFactor(f float64) ClusterOption {
 	return func(c *clusterConfig) { c.opts = append(c.opts, cluster.WithStagingFactor(f)) }
+}
+
+// WithResidency enables the device-resident staging cache: jobs
+// declaring Reads regions stage only the tiles not already resident on
+// their device — the cold-miss remainder — with capacityBytes of cache
+// per device (0 = unbounded), LRU-evicted at drain instants, and
+// invalidated when a job's Writes regions complete. The cache persists
+// across Run calls, so repeated workloads run warm (DESIGN.md §11).
+func WithResidency(capacityBytes int64) ClusterOption {
+	return func(c *clusterConfig) { c.opts = append(c.opts, cluster.WithResidency(capacityBytes)) }
 }
 
 // WithClusterStealing enables drain-instant work stealing with the
@@ -405,16 +424,27 @@ func PredictedPlacementWithModel(m *Model) PlacementPolicy {
 	return cluster.PredictedWithModel(m)
 }
 
+// AffinityPlacement scores devices exactly like PredictedPlacement but
+// breaks near-ties toward the device holding the largest resident
+// fraction of the job's read set, herding each dataset's readers onto
+// the device that staged it first. Without WithResidency it degenerates
+// to PredictedPlacement (DESIGN.md §11).
+func AffinityPlacement() PlacementPolicy { return cluster.Affinity() }
+
 // StaticPlacement pins every job to one device — the baseline the
 // placement property tests bound predicted placement against.
 func StaticPlacement(dev int) PlacementPolicy { return cluster.Static(dev) }
 
-// PlaceBy returns a fresh "least-loaded", "round-robin" or
-// "predicted" placement policy.
+// PlaceBy returns a fresh "affinity", "least-loaded", "round-robin"
+// or "predicted" placement policy.
 func PlaceBy(name string) (PlacementPolicy, error) { return cluster.ByName(name) }
 
 // PlacementNames lists the built-in placement policies.
 func PlacementNames() []string { return cluster.Policies() }
+
+// CacheModeNames lists the residency-cache modes the miccluster CLI's
+// -cache flag accepts ("off", "lru").
+func CacheModeNames() []string { return cluster.CacheModes() }
 
 // BuildClusterScenario generates a deterministic synthetic cluster
 // workload on the cluster's platform: size-spread tiled jobs, a
@@ -445,8 +475,9 @@ func TuneClusterGuided(devices []int, space SearchSpace, predict, eval ClusterEv
 
 // RunExperiment regenerates one of the paper's figures (e.g. "fig5",
 // "fig9a", "fig11", "heuristics") or one of the scheduler studies
-// ("fairness", "imbalance", "placement", "cluster-scaling") and
-// renders it to w as an aligned text table.
+// ("fairness", "imbalance", "placement", "cluster-scaling",
+// "stealing", "residency") and renders it to w as an aligned text
+// table.
 func RunExperiment(id string, w io.Writer) error {
 	return runExperiment(id, w, false)
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"micstream/internal/experiments"
+	"micstream/internal/residency"
 )
 
 // benchFigure runs one experiment generator per iteration and reports
@@ -85,6 +86,7 @@ func BenchmarkSchedFairness(b *testing.B)     { benchFigure(b, "fairness") }
 func BenchmarkClusterPlacement(b *testing.B)  { benchFigure(b, "placement") }
 func BenchmarkClusterScalingFig(b *testing.B) { benchFigure(b, "cluster-scaling") }
 func BenchmarkClusterStealing(b *testing.B)   { benchFigure(b, "stealing") }
+func BenchmarkClusterResidency(b *testing.B)  { benchFigure(b, "residency") }
 
 // Ablations of the model's load-bearing terms and extensions beyond
 // the paper (see EXPERIMENTS.md §Extensions).
@@ -201,6 +203,31 @@ func BenchmarkClusterAdmission(b *testing.B) {
 	}
 	if sec := inRun.Seconds(); sec > 0 {
 		b.ReportMetric(float64(jobs)/sec, "jobs/s")
+	}
+}
+
+// BenchmarkResidencyLookup measures the staging cache's read-only
+// probe — the call every placement score and steal estimate makes per
+// candidate device, so its cost multiplies into the dispatch hot path.
+// CI's bench smoke runs it once per push alongside the admission
+// canaries.
+func BenchmarkResidencyLookup(b *testing.B) {
+	tr, err := residency.New(4, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for ds := 0; ds < 16; ds++ {
+		tr.Commit(ds%4, []residency.Region{
+			{Dataset: "ds" + string(rune('a'+ds)), First: 0, Tiles: 64, TileBytes: 1 << 20},
+		})
+	}
+	probe := []residency.Region{
+		{Dataset: "dsc", First: 16, Tiles: 32, TileBytes: 1 << 20},
+		{Dataset: "dsq", First: 0, Tiles: 8, TileBytes: 1 << 20},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(i%4, probe)
 	}
 }
 

@@ -8,19 +8,27 @@
 //	miccluster -place=predicted -devices=2 -spread=8 -affinity=0.5
 //	miccluster -compare -arrival=correlated -seed=7
 //	miccluster -steal=1ns -affinity=1 -origins=0 -xfer=8388608 -depth=16
+//	miccluster -cache=lru -cachecap=67108864 -datasets=4 -place=affinity
 //	miccluster -scaling -devices=4
 //	miccluster -list
 //
 // Placement policies: least-loaded (fewest committed jobs),
 // round-robin (rotate devices), predicted (earliest model-predicted
 // completion including the cross-device staging term — the policy the
-// placement experiment shows winning on imbalanced mixes). -steal
+// placement experiment shows winning on imbalanced mixes), affinity
+// (predicted's scores, near-ties broken toward the device already
+// holding the job's tiles — needs -cache=lru to differ). -steal
 // enables drain-instant work stealing: an idle device re-binds
 // committed jobs from a device whose backlog exceeds the threshold
 // when the predicted completion (staging re-charged) improves.
-// -compare runs every placement on the same workload side by side;
-// -scaling prints a Fig. 11-style table of 1..devices GFLOPS through
-// the scheduler. Every run is a pure function of its flags.
+// -cache=lru enables the device-resident staging cache: -datasets
+// makes device-resident jobs cycle through shared inputs, repeats
+// stage only their cold misses, and -cachecap bounds the per-device
+// cache (LRU-evicted at drain instants; -writefrac makes some jobs
+// overwrite their dataset, invalidating cached copies). -compare runs
+// every placement on the same workload side by side; -scaling prints
+// a Fig. 11-style table of 1..devices GFLOPS through the scheduler.
+// Every run is a pure function of its flags.
 package main
 
 import (
@@ -41,11 +49,15 @@ func main() {
 		devices    = flag.Int("devices", 2, "coprocessor count")
 		partitions = flag.Int("partitions", 2, "partitions per device")
 		streams    = flag.Int("streams", 2, "streams per partition")
-		place      = flag.String("place", "predicted", "placement policy: least-loaded, round-robin, predicted")
+		place      = flag.String("place", "predicted", "placement policy: least-loaded, round-robin, predicted, affinity")
 		policy     = flag.String("policy", "fifo", "per-device stream policy: fifo, rr, sjf, adaptive")
 		depth      = flag.Int("depth", 8, "per-device committed-queue depth")
 		steal      = flag.Duration("steal", 0, "work-stealing backlog threshold (e.g. 1ms; 1ns steals on any backlog); 0 disables")
 		staging    = flag.Float64("staging", 0, "staging factor override (0 = default 2x)")
+		cache      = flag.String("cache", "off", "residency cache mode: off, lru (device-resident staging cache; off-origin jobs stage cold misses only)")
+		cachecap   = flag.Int64("cachecap", 64<<20, "per-device residency cache capacity in bytes (0 = unbounded; needs -cache=lru)")
+		datasets   = flag.Int("datasets", 0, "shared datasets device-resident jobs cycle through (0 = private inputs, nothing for the cache to reuse)")
+		writefrac  = flag.Float64("writefrac", 0, "fraction of dataset jobs that overwrite their region, invalidating cached copies (needs -datasets)")
 		njobs      = flag.Int("njobs", 48, "job count")
 		scale      = flag.Int("scale", 1, "multiplier on the job count")
 		spread     = flag.Float64("spread", 4, "geometric job-size spread (1 = identical jobs)")
@@ -67,6 +79,7 @@ func main() {
 		fmt.Println("placements:", micstream.PlacementNames())
 		fmt.Println("policies:  ", micstream.PolicyNames())
 		fmt.Println("arrivals:  ", micstream.ArrivalNames())
+		fmt.Println("caches:    ", micstream.CacheModeNames())
 		return
 	}
 	switch {
@@ -86,6 +99,12 @@ func main() {
 		usageError("-steal must be non-negative, got %v", *steal)
 	case *staging < 0:
 		usageError("-staging must be non-negative, got %g", *staging)
+	case *cachecap < 0:
+		usageError("-cachecap must be non-negative, got %d", *cachecap)
+	case *datasets < 0:
+		usageError("-datasets must be non-negative, got %d", *datasets)
+	case *writefrac < 0 || *writefrac > 1:
+		usageError("-writefrac must be in [0,1], got %g", *writefrac)
 	case *spread < 1:
 		usageError("-spread must be at least 1, got %g", *spread)
 	case *affinity < 0 || *affinity > 1:
@@ -109,6 +128,9 @@ func main() {
 	if !slices.Contains(micstream.ArrivalNames(), *arrival) {
 		usageError("-arrival: unknown arrival process %q (have %v)", *arrival, micstream.ArrivalNames())
 	}
+	if !slices.Contains(micstream.CacheModeNames(), *cache) {
+		usageError("-cache: unknown cache mode %q (have %v)", *cache, micstream.CacheModeNames())
+	}
 	origin, err := parseOrigins(*origins, *devices)
 	if err != nil {
 		usageError("-origins: %v", err)
@@ -118,6 +140,7 @@ func main() {
 		runScaling(scalingFlags{
 			maxDevices: *devices, partitions: *partitions, streams: *streams,
 			policy: *policy, depth: *depth, steal: *steal, staging: *staging,
+			cache: *cache, cachecap: *cachecap,
 			njobs: *njobs * *scale, seed: *seed, xfer: *xfer,
 		})
 		return
@@ -134,11 +157,13 @@ func main() {
 		r := runOnce(name, clusterFlags{
 			devices: *devices, partitions: *partitions, streams: *streams,
 			policy: *policy, depth: *depth, steal: *steal, staging: *staging,
+			cache: *cache, cachecap: *cachecap,
 			njobs: *njobs * *scale, spread: *spread, affinity: *affinity,
+			datasets: *datasets, writefrac: *writefrac,
 			xfer: *xfer, origins: origin, arrival: *arrival, seed: *seed,
 			windowNs: window.Nanoseconds(), tenants: *tenants,
 		})
-		printResult(r, name, *arrival, *seed, *jobs && !*compare)
+		printResult(r, name, *arrival, *seed, *cache != "off", *jobs && !*compare)
 	}
 }
 
@@ -148,8 +173,12 @@ type clusterFlags struct {
 	depth                        int
 	steal                        time.Duration
 	staging                      float64
+	cache                        string
+	cachecap                     int64
 	njobs                        int
 	spread, affinity             float64
+	datasets                     int
+	writefrac                    float64
 	xfer                         int64
 	origins                      []int
 	arrival                      string
@@ -186,6 +215,9 @@ func runOnce(place string, f clusterFlags) *micstream.ClusterResult {
 	if f.staging > 0 {
 		opts = append(opts, micstream.WithClusterStagingFactor(f.staging))
 	}
+	if f.cache == "lru" {
+		opts = append(opts, micstream.WithResidency(f.cachecap))
+	}
 	c, err := micstream.NewCluster(opts...)
 	if err != nil {
 		fatal(err)
@@ -205,6 +237,8 @@ func runOnce(place string, f clusterFlags) *micstream.ClusterResult {
 		Tenants:          f.tenants,
 		SizeSpread:       f.spread,
 		AffinityFraction: f.affinity,
+		Datasets:         f.datasets,
+		WriteFraction:    f.writefrac,
 		XferBytes:        f.xfer,
 		Origins:          origins,
 	})
@@ -218,11 +252,17 @@ func runOnce(place string, f clusterFlags) *micstream.ClusterResult {
 	return r
 }
 
-// printResult renders one run: header, per-device table, per-tenant
-// table, and optionally every job.
-func printResult(r *micstream.ClusterResult, place, arrival string, seed uint64, perJob bool) {
-	fmt.Printf("placement=%s arrival=%s seed=%d: %d jobs over %d devices, makespan %v, %d staged (%d MB), %d stolen\n\n",
+// printResult renders one run: header, residency accounting when the
+// cache is on, per-device table, per-tenant table, and optionally
+// every job.
+func printResult(r *micstream.ClusterResult, place, arrival string, seed uint64, cached, perJob bool) {
+	fmt.Printf("placement=%s arrival=%s seed=%d: %d jobs over %d devices, makespan %v, %d staged (%d MB), %d stolen\n",
 		place, arrival, seed, len(r.Jobs), len(r.Devices), r.Makespan, r.StagedJobs, r.StagedBytes>>20, r.Steals)
+	if cached {
+		fmt.Printf("residency: %d MB hit, %d MB cold-missed, %d MB evicted\n",
+			r.HitBytes>>20, r.MissBytes>>20, r.EvictedBytes>>20)
+	}
+	fmt.Println()
 	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
 	fmt.Fprintln(tw, "device\tjobs\tstaged\tbusy\tutilization")
 	for _, ds := range r.Devices {
@@ -260,6 +300,8 @@ type scalingFlags struct {
 	depth                           int
 	steal                           time.Duration
 	staging                         float64
+	cache                           string
+	cachecap                        int64
 	njobs                           int
 	seed                            uint64
 	xfer                            int64
@@ -306,6 +348,9 @@ func runScaling(f scalingFlags) {
 		if f.staging > 0 {
 			opts = append(opts, micstream.WithClusterStagingFactor(f.staging))
 		}
+		if f.cache == "lru" {
+			opts = append(opts, micstream.WithResidency(f.cachecap))
+		}
 		c, err := micstream.NewCluster(opts...)
 		if err != nil {
 			fatal(err)
@@ -336,8 +381,9 @@ func runScaling(f scalingFlags) {
 	tw.Flush()
 	fmt.Println("\nspeedup lands above 1x but below the projection: every off-origin job")
 	fmt.Println("re-stages its input through the host, the Fig. 11 shortfall (paper §VI).")
-	fmt.Println("raise -xfer or -staging to deepen the shortfall; -spread/-affinity/-arrival")
-	fmt.Println("shape the mix modes only, not this table.")
+	fmt.Println("raise -xfer or -staging to deepen the shortfall; -spread/-affinity/")
+	fmt.Println("-arrival/-datasets shape the mix modes only, not this table (the scaling")
+	fmt.Println("bag gives every job a private input, so -cache=lru has nothing to reuse).")
 }
 
 // parseOrigins parses the -origins flag: a comma-separated device

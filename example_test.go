@@ -112,6 +112,6 @@ func ExampleNewCluster() {
 	// Output:
 	// job 0 -> device 0 (staged false)
 	// job 1 -> device 1 (staged true)
-	// job 2 -> device 0 (staged true)
-	// placement predicted, 2 staged, makespan 11.218ms
+	// job 2 -> device 1 (staged false)
+	// placement predicted, 1 staged, makespan 11.218ms
 }

@@ -216,8 +216,8 @@ func TestFacadeCluster(t *testing.T) {
 	if r.Makespan <= 0 || len(r.Devices) != 2 {
 		t.Fatalf("bad cluster result: makespan %v, %d devices", r.Makespan, len(r.Devices))
 	}
-	if got := len(PlacementNames()); got != 3 {
-		t.Fatalf("PlacementNames() has %d entries, want 3", got)
+	if got := len(PlacementNames()); got != 4 {
+		t.Fatalf("PlacementNames() has %d entries, want 4", got)
 	}
 	if ClusterPlatform(c).Elapsed() <= 0 {
 		t.Fatal("cluster platform clock did not advance")
@@ -361,4 +361,66 @@ func ExampleWithPolicy() {
 	// job 0 (first) started at 0ns
 	// job 1 (medium) started at 5.127ms
 	// job 2 (light) started at 4.085ms
+}
+
+func TestFacadeResidency(t *testing.T) {
+	c, err := NewCluster(
+		WithClusterDevices(2),
+		WithClusterPartitions(1),
+		WithPlacement(AffinityPlacement()),
+		WithResidency(64<<20),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := BuildClusterScenario(c, ClusterScenarioConfig{
+		Jobs: 16, Seed: 9, AffinityFraction: 1, Origins: []int{0},
+		Datasets: 2, XferBytes: 4 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := 0
+	for _, j := range jobs {
+		if len(j.Reads) > 0 {
+			declared++
+			if j.StagingDemand() != j.Reads[0].Bytes() {
+				t.Fatalf("job %d demand %d != region bytes %d", j.ID, j.StagingDemand(), j.Reads[0].Bytes())
+			}
+		}
+	}
+	if declared != 16 {
+		t.Fatalf("%d of 16 scenario jobs declare regions", declared)
+	}
+	r, err := c.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HitBytes == 0 {
+		t.Error("repeated-dataset scenario produced no cache hits")
+	}
+	var demand int64
+	for i, j := range jobs {
+		if o := r.Jobs[i]; j.Origin >= 0 && j.Origin != o.Device && !o.Failed {
+			demand += j.StagingDemand()
+		}
+	}
+	if r.HitBytes+r.MissBytes != demand {
+		t.Errorf("hits %d + misses %d != off-origin demand %d", r.HitBytes, r.MissBytes, demand)
+	}
+	var st ResidencyStats = c.Residency().Stats()
+	if st.HitBytes != r.HitBytes {
+		t.Errorf("tracker hits %d != result hits %d on the first run", st.HitBytes, r.HitBytes)
+	}
+	if got := CacheModeNames(); len(got) != 2 || got[0] != "off" || got[1] != "lru" {
+		t.Errorf("CacheModeNames() = %v, want [off lru]", got)
+	}
+	if _, err := PlaceBy("affinity"); err != nil {
+		t.Errorf("PlaceBy(affinity): %v", err)
+	}
+	// A region is usable directly through the facade alias.
+	reg := Region{Dataset: "d", First: 0, Tiles: 2, TileBytes: 1 << 10}
+	if reg.Bytes() != 2<<10 {
+		t.Errorf("Region.Bytes() = %d", reg.Bytes())
+	}
 }

@@ -15,7 +15,12 @@
 // staging term plus the analytic model's service estimate into an
 // earliest-predicted-completion score. "least-loaded" (queue depth)
 // and "round-robin" are the load-blind baselines the placement
-// experiment compares it against.
+// experiment compares it against. With WithResidency enabled the
+// staging charge becomes cold-miss-only: a per-device cache
+// (internal/residency) remembers which tiles earlier jobs already
+// shipped, every pricing path charges only the residual, and the
+// "affinity" policy breaks near-ties toward the device holding the
+// largest resident fraction of a job's read set (DESIGN.md §11).
 //
 // Admission is two-level. Each device accepts at most QueueDepth
 // committed-but-undispatched jobs; overflow waits in the cluster
@@ -39,6 +44,7 @@ import (
 	"micstream/internal/hstreams"
 	"micstream/internal/model"
 	"micstream/internal/pcie"
+	"micstream/internal/residency"
 	"micstream/internal/sched"
 	"micstream/internal/sim"
 )
@@ -76,8 +82,30 @@ type Job struct {
 	Origin int
 	// StagingBytes is the input volume staged through the host when
 	// the job runs off its origin device. Ignored when Origin is
-	// negative.
+	// negative, and superseded by Reads when regions are declared.
 	StagingBytes int64
+	// Reads optionally declares the (dataset, tile-range) regions the
+	// staged input covers. With regions declared the staging demand is
+	// their total volume, and a cluster running WithResidency charges
+	// only the tiles not already resident on the target device — the
+	// cold-miss remainder (DESIGN.md §11). Regions must not overlap
+	// within the list.
+	Reads []residency.Region
+	// Writes optionally declares regions the job overwrites. At the
+	// job's completion instant every other device's cached copy of
+	// those tiles is invalidated; the writer keeps the fresh copy when
+	// it ran off the dataset's origin.
+	Writes []residency.Region
+}
+
+// StagingDemand is the volume the job must move when placed off its
+// origin: the total of its declared read regions, or StagingBytes when
+// none are declared.
+func (j *Job) StagingDemand() int64 {
+	if len(j.Reads) > 0 {
+		return residency.TotalBytes(j.Reads)
+	}
+	return j.StagingBytes
 }
 
 // Queued is a cluster-queued job together with the bookkeeping the
@@ -96,6 +124,11 @@ type Queued struct {
 	// was routed to and its outcome index on that device's scheduler.
 	// Work stealing uses them to withdraw a committed job.
 	dev, devIdx int
+	// demand caches Job.StagingDemand.
+	demand int64
+	// rcpt records what the last commitment installed in the residency
+	// tracker, so a steal's withdraw can roll it back.
+	rcpt residency.Receipt
 }
 
 // Option configures a Cluster.
@@ -125,6 +158,28 @@ func WithStagingFactor(f float64) Option {
 	return func(c *Cluster) { c.stagingFactor = f }
 }
 
+// WithResidency enables the device-resident staging cache: a
+// deterministic per-device tracker of the (dataset, tile) regions jobs
+// declare through Reads/Writes, byte-capacity bounded per device
+// (capacityBytes 0 = unbounded), LRU-evicted at drain instants. With
+// it enabled, an off-origin placement stages only the tiles not
+// already resident on the target — the cold-miss remainder — and every
+// pricing path (predicted placement, steal gains) prices that residual
+// instead of the full volume (DESIGN.md §11). The cache persists
+// across Run calls, so a repeated workload runs warm. A negative
+// capacity is rejected by New.
+func WithResidency(capacityBytes int64) Option {
+	return func(c *Cluster) {
+		c.caching = true
+		c.cacheCap = capacityBytes
+	}
+}
+
+// CacheModes lists the residency-cache modes the CLIs accept: "off"
+// (no tracker — every off-origin job stages in full) and "lru" (the
+// WithResidency tracker with drain-instant LRU eviction).
+func CacheModes() []string { return []string{"off", "lru"} }
+
 // WithStealing enables drain-instant work stealing: whenever a device
 // goes idle while another's committed backlog exceeds threshold, the
 // idle device may re-bind committed-but-undispatched jobs whose
@@ -152,8 +207,15 @@ type Cluster struct {
 	stealing       bool
 	stealThreshold sim.Duration
 	stealModel     *model.Model
+	caching        bool
+	cacheCap       int64
+	resident       *residency.Tracker
 
 	stagingBuf *hstreams.Buffer
+	// resStart snapshots the tracker's cumulative stats at Run entry,
+	// so the Result reports per-run eviction deltas while the cache
+	// itself stays warm across runs.
+	resStart residency.Stats
 
 	// Per-run state, reset by Run.
 	queue       []*Queued
@@ -219,6 +281,13 @@ func New(ctx *hstreams.Context, opts ...Option) (*Cluster, error) {
 	if len(c.scheds) == 0 {
 		return nil, fmt.Errorf("cluster: context has no devices")
 	}
+	if c.caching {
+		t, err := residency.New(len(c.scheds), c.cacheCap)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.resident = t
+	}
 	if b, ok := c.place.(clusterBinder); ok {
 		b.bind(c)
 	}
@@ -257,6 +326,11 @@ func (c *Cluster) Placement() Policy { return c.place }
 // inspection; mutating it mid-run corrupts the cluster).
 func (c *Cluster) Scheduler(d int) *sched.Scheduler { return c.scheds[d] }
 
+// Residency returns the cluster's staging cache, or nil when the
+// cluster runs cache-less (for inspection; mutating it mid-run
+// corrupts the pricing).
+func (c *Cluster) Residency() *residency.Tracker { return c.resident }
+
 // link returns the PCIe model shared by the cluster's links (every
 // device link is configured identically).
 func (c *Cluster) link() pcie.Config { return c.ctx.Config().Link }
@@ -275,6 +349,35 @@ func (c *Cluster) stagingTime(bytes int64) sim.Duration {
 		return 0
 	}
 	return c.link().TransferTime(charged)
+}
+
+// stagingPrice predicts the cost of staging bytes (a job's residual
+// demand after residency hits) through the analytic model's
+// multi-device form: a staging-only ClusterWorkload evaluated by
+// PredictCluster, so every pricing path — predicted placement scores
+// and steal gains alike — carries the same calibrated link scales and
+// shared-host contention. The model charges every staged byte as two
+// crossings while the cluster's actual charge is stagingFactor × bytes
+// in one transfer, so the model is handed half the charged volume and
+// the two conventions price the same traffic even under a non-default
+// WithStagingFactor.
+func (c *Cluster) stagingPrice(m *model.Model, bytes int64) sim.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	charged := c.stagingCharge(bytes)
+	if charged <= 0 {
+		return 0
+	}
+	devices := len(c.scheds)
+	if devices < 2 {
+		devices = 2
+	}
+	cw := model.StagingOnly("cluster/staging", (charged+1)/2)
+	if pred, err := m.PredictCluster(cw, devices, 1, 1); err == nil && pred.StagingTime > 0 {
+		return pred.StagingTime
+	}
+	return c.stagingTime(bytes)
 }
 
 // ensureStaging returns the scratch buffer staged transfers move
@@ -322,6 +425,12 @@ func (c *Cluster) Run(jobs []Job) (*Result, error) {
 		if j.StagingBytes < 0 {
 			return nil, fmt.Errorf("cluster: job %d has negative staging volume %d", j.ID, j.StagingBytes)
 		}
+		if err := residency.Validate(j.Reads); err != nil {
+			return nil, fmt.Errorf("cluster: job %d reads: %w", j.ID, err)
+		}
+		if err := residency.Validate(j.Writes); err != nil {
+			return nil, fmt.Errorf("cluster: job %d writes: %w", j.ID, err)
+		}
 	}
 	for _, s := range c.scheds {
 		s.Reset()
@@ -349,6 +458,11 @@ func (c *Cluster) Run(jobs []Job) (*Result, error) {
 	c.steals = 0
 	c.seq = 0
 	c.runErr = nil
+	if c.resident != nil {
+		// The cache itself persists across runs (a repeated workload
+		// runs warm); only the per-run stats baseline resets.
+		c.resStart = c.resident.Stats()
+	}
 
 	eng := c.ctx.Engine()
 	runStart := eng.Now()
@@ -409,7 +523,7 @@ func (c *Cluster) admit(job *Job, idx int) {
 		c.outcomes[idx].Failed = true
 		return
 	}
-	q := &Queued{Job: job, Est: est, Seq: c.seq, idx: idx, dev: -1, devIdx: -1}
+	q := &Queued{Job: job, Est: est, Seq: c.seq, idx: idx, dev: -1, devIdx: -1, demand: job.StagingDemand()}
 	c.admitted[idx] = q
 	c.queue = append(c.queue, q)
 	c.seq++
@@ -489,9 +603,11 @@ func (c *Cluster) dispatch() {
 }
 
 // route commits one job to a device: charges the staging transfer when
-// the job runs off its origin, submits to the device's scheduler, and
-// records the placement. A stolen job routes through here again — the
-// staging fields reset so the charge always reflects the final device.
+// the job runs off its origin — only the cold-miss remainder when the
+// residency cache holds part of the job's read set — submits to the
+// device's scheduler, and records the placement. A stolen job routes
+// through here again — the staging fields reset so the charge always
+// reflects the final device.
 func (c *Cluster) route(q *Queued, dev int) {
 	job := q.Job
 	idx := q.idx
@@ -507,36 +623,54 @@ func (c *Cluster) route(q *Queued, dev int) {
 	o.Staged = false
 	o.StagedBytes = 0
 	o.StagingEst = 0
+	o.HitBytes = 0
+	o.MissBytes = 0
+	q.rcpt = residency.Receipt{}
 
 	tasks := job.Tasks
 	est := q.Est
-	if job.Origin >= 0 && job.Origin != dev && job.StagingBytes > 0 {
-		charged := c.stagingCharge(job.StagingBytes)
-		buf := c.ensureStaging(int(charged))
-		maxID := tasks[0].ID
-		for _, t := range tasks {
-			if t.ID > maxID {
-				maxID = t.ID
+	if job.Origin >= 0 && job.Origin != dev && q.demand > 0 {
+		miss := q.demand
+		if c.resident != nil && len(job.Reads) > 0 {
+			var hit int64
+			hit, miss, q.rcpt = c.resident.Commit(dev, job.Reads)
+			o.HitBytes = hit
+		}
+		o.MissBytes = miss
+		if miss > 0 {
+			charged := c.stagingCharge(miss)
+			buf := c.ensureStaging(int(charged))
+			maxID := tasks[0].ID
+			for _, t := range tasks {
+				if t.ID > maxID {
+					maxID = t.ID
+				}
 			}
+			stage := &core.Task{
+				ID:           maxID + 1,
+				H2D:          []core.TransferSpec{core.Xfer(buf, 0, int(charged))},
+				StreamHint:   -1,
+				TransferOnly: true,
+			}
+			// The stage task leads the job on its (single) stream, so
+			// FIFO order delays every real task behind the staged bytes.
+			tasks = append([]*core.Task{stage}, tasks...)
+			o.Staged = true
+			o.StagedBytes = charged
+			o.StagingEst = c.stagingTime(miss)
+			est += o.StagingEst
 		}
-		stage := &core.Task{
-			ID:           maxID + 1,
-			H2D:          []core.TransferSpec{core.Xfer(buf, 0, int(charged))},
-			StreamHint:   -1,
-			TransferOnly: true,
-		}
-		// The stage task leads the job on its (single) stream, so
-		// FIFO order delays every real task behind the staged bytes.
-		tasks = append([]*core.Task{stage}, tasks...)
-		o.Staged = true
-		o.StagedBytes = charged
-		o.StagingEst = c.stagingTime(job.StagingBytes)
-		est += o.StagingEst
 	}
 
 	sjob := sched.Job{ID: job.ID, Tenant: job.Tenant, Tasks: tasks, Est: est}
 	si, err := c.scheds[dev].Submit(&sjob)
 	if err != nil {
+		if c.resident != nil {
+			// The rejected job's staged transfer never enqueued: the
+			// tiles its commit installed must not survive into later
+			// runs as phantom residency.
+			c.resident.Rollback(q.rcpt)
+		}
 		c.outcomes[idx].Failed = true
 		c.fail(fmt.Errorf("cluster: job %d on device %d: %w", job.ID, dev, err))
 		return
@@ -575,8 +709,13 @@ func (c *Cluster) jobDone(dev int, o sched.JobOutcome) {
 	out := &c.outcomes[idx]
 	if o.Failed {
 		// The device scheduler aborted with this job still queued;
-		// mirror it as a failed cluster outcome and surface the
-		// device's error.
+		// mirror it as a failed cluster outcome, surface the device's
+		// error, and roll back the residency installs of a staged
+		// transfer that never ran (the cache persists across runs, so
+		// phantom tiles would under-charge a later warm replay).
+		if c.resident != nil {
+			c.resident.Rollback(c.admitted[idx].rcpt)
+		}
 		out.Failed = true
 		if err := c.scheds[dev].Err(); err != nil && c.runErr == nil {
 			c.fail(err)
@@ -589,6 +728,18 @@ func (c *Cluster) jobDone(dev int, o sched.JobOutcome) {
 	c.done++
 	if c.runErr != nil {
 		return
+	}
+	if c.resident != nil {
+		// The drain instant is where write effects land and where
+		// capacity is enforced (DESIGN.md §11): invalidate every other
+		// device's copy of the completed job's written tiles, then
+		// LRU-evict each device back under its byte budget, so the
+		// placements priced below see the post-completion cache.
+		job := c.admitted[idx].Job
+		if len(job.Writes) > 0 {
+			c.resident.Invalidate(dev, job.Writes, job.Origin >= 0 && job.Origin != dev)
+		}
+		c.resident.EnforceAll()
 	}
 	c.dispatch()
 	c.trySteals()

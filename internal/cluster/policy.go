@@ -159,48 +159,131 @@ func (p *predicted) bind(c *Cluster) {
 	}
 }
 
-// stagingEst prices an off-origin placement through the model's
-// calibrated link: the charged staging volume at transfer rate,
-// stretched by TransferScale.
-func (p *predicted) stagingEst(bytes int64) sim.Duration {
-	charged := p.c.stagingCharge(bytes)
-	if charged <= 0 {
+// serviceEst is the service term of a score: a caller-declared
+// estimate wins (it is what the backlog term is denominated in);
+// otherwise the model predicts the service from the tasks, which is
+// where Fit calibration enters.
+func (p *predicted) serviceEst(q *Queued) sim.Duration {
+	if q.Job.Est <= 0 {
+		return p.m.ServiceTime(q.Job.Tasks, p.partitions)
+	}
+	return q.Est
+}
+
+// residual is the staging demand left if q commits to dev now: zero on
+// the job's origin, the cold-miss remainder where the residency cache
+// holds part of the read set, the full demand otherwise. Lookup is
+// read-only, so scoring many devices never perturbs the cache.
+func (p *predicted) residual(q *Queued, dev int) int64 {
+	job := q.Job
+	if job.Origin < 0 || job.Origin == dev || q.demand <= 0 {
 		return 0
 	}
-	ts := p.m.TransferScale
-	if ts <= 0 {
-		ts = 1
+	if t := p.c.resident; t != nil && len(job.Reads) > 0 {
+		_, miss := t.Lookup(dev, job.Reads)
+		return miss
 	}
-	return sim.Duration(float64(p.m.Link.TransferTime(charged)) * ts)
+	return q.demand
+}
+
+// score is the predicted completion instant of q on v: the device's
+// estimated ready time (drain instant plus queued backlog spread over
+// its streams), the residual staging charge priced through the
+// model's staging-only cluster form, and the service estimate.
+func (p *predicted) score(q *Queued, v DeviceView, est sim.Duration, residual int64) sim.Time {
+	ready := v.EarliestFree
+	if ready < v.Now {
+		ready = v.Now
+	}
+	if v.Streams > 0 {
+		ready = ready.Add(v.Backlog / sim.Duration(v.Streams))
+	}
+	s := ready.Add(est)
+	if residual > 0 {
+		s = s.Add(p.c.stagingPrice(p.m, residual))
+	}
+	return s
 }
 
 // Place implements Policy.
 func (p *predicted) Place(q *Queued, eligible []DeviceView) int {
-	// A caller-declared estimate wins (it is what the backlog term is
-	// denominated in); otherwise the model predicts the service from
-	// the tasks, which is where Fit calibration enters.
-	est := q.Est
-	if q.Job.Est <= 0 {
-		est = p.m.ServiceTime(q.Job.Tasks, p.partitions)
-	}
+	est := p.serviceEst(q)
 	best, bestScore := 0, sim.Time(0)
 	for i, v := range eligible {
-		ready := v.EarliestFree
-		if ready < v.Now {
-			ready = v.Now
-		}
-		if v.Streams > 0 {
-			ready = ready.Add(v.Backlog / sim.Duration(v.Streams))
-		}
-		score := ready.Add(est)
-		if job := q.Job; job.Origin >= 0 && job.Origin != v.Device {
-			score = score.Add(p.stagingEst(job.StagingBytes))
-		}
+		score := p.score(q, v, est, p.residual(q, v.Device))
 		if i == 0 || score < bestScore {
 			best, bestScore = i, score
 		}
 	}
 	return best
+}
+
+// DefaultAffinitySlack is the affinity policy's near-tie window: a
+// device qualifies as tied when its predicted completion span exceeds
+// the best by at most this fraction.
+const DefaultAffinitySlack = 0.05
+
+// affinity is the cache-aware refinement of predicted: devices are
+// scored identically, but when several land within the near-tie window
+// the job goes to the one already holding the largest resident
+// fraction of its read set (the origin counts as fully resident).
+// Staging is priced at the residual in both policies; what affinity
+// adds is the tie-break — on a repeated-dataset mix it herds readers
+// of one dataset onto the device that staged it first instead of
+// scattering them by backlog noise, so the cold miss is paid once
+// (DESIGN.md §11). Without WithResidency (or for jobs without
+// declared regions) it degenerates to predicted exactly.
+type affinity struct {
+	predicted
+	slack float64
+}
+
+// Affinity returns the cache-affinity placement policy with the
+// default near-tie window.
+func Affinity() Policy { return &affinity{slack: DefaultAffinitySlack} }
+
+// Name implements Policy.
+func (*affinity) Name() string { return "affinity" }
+
+// Place implements Policy.
+func (a *affinity) Place(q *Queued, eligible []DeviceView) int {
+	est := a.serviceEst(q)
+	scores := make([]sim.Time, len(eligible))
+	residuals := make([]int64, len(eligible))
+	best := 0
+	for i, v := range eligible {
+		residuals[i] = a.residual(q, v.Device)
+		scores[i] = a.score(q, v, est, residuals[i])
+		if scores[i] < scores[best] {
+			best = i
+		}
+	}
+	// The tie-break needs the cache's information: without a tracker,
+	// without declared regions (residual carries no residency signal
+	// then), or without demand, affinity is predicted exactly.
+	job := q.Job
+	if a.c.resident == nil || job.Origin < 0 || q.demand <= 0 || len(job.Reads) == 0 {
+		return best
+	}
+	// Spans are measured from now so the near-tie window is relative
+	// to how far away completion is, not to the virtual epoch.
+	now := eligible[0].Now
+	bestSpan := scores[best].Sub(now)
+	window := bestSpan + sim.Duration(float64(bestSpan)*a.slack)
+	pick, pickFrac := best, -1.0
+	for i := range eligible {
+		if scores[i].Sub(now) > window {
+			continue
+		}
+		frac := float64(q.demand-residuals[i]) / float64(q.demand)
+		// Largest resident fraction wins; ties keep the earlier
+		// predicted completion, then the lower device index (first
+		// seen) — the same discipline as every other decision.
+		if frac > pickFrac || (frac == pickFrac && scores[i] < scores[pick]) {
+			pick, pickFrac = i, frac
+		}
+	}
+	return pick
 }
 
 // static pins every job to one device, deferring while it is
@@ -236,16 +319,18 @@ func Policies() []string {
 	return names
 }
 
-// policyFactories maps names to fresh-instance constructors; RR and
-// predicted are stateful, so ByName must return a new value each call.
+// policyFactories maps names to fresh-instance constructors; RR,
+// predicted and affinity are stateful, so ByName must return a new
+// value each call.
 var policyFactories = map[string]func() Policy{
 	"least-loaded": LeastLoaded,
 	"round-robin":  RoundRobin,
 	"predicted":    Predicted,
+	"affinity":     Affinity,
 }
 
 // ByName returns a fresh instance of a built-in placement policy:
-// "least-loaded", "round-robin", or "predicted".
+// "affinity", "least-loaded", "round-robin", or "predicted".
 func ByName(name string) (Policy, error) {
 	f, ok := policyFactories[name]
 	if !ok {

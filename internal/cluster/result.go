@@ -29,6 +29,13 @@ type Outcome struct {
 	Staged      bool
 	StagedBytes int64
 	StagingEst  sim.Duration
+	// HitBytes and MissBytes split an off-origin job's staging demand
+	// at its final commitment: bytes found resident on the device
+	// (free — the residency cache held them) versus bytes actually
+	// staged (the cold-miss remainder StagedBytes charges, before the
+	// staging factor). They sum to the job's StagingDemand. Without
+	// WithResidency every demanded byte is a miss.
+	HitBytes, MissBytes int64
 	// Origin echoes the device holding the job's inputs (-1:
 	// host-resident), so final placement is auditable per job.
 	Origin int
@@ -114,6 +121,13 @@ type Result struct {
 	// placement caused — the Fig. 11 shortfall, measured.
 	StagedJobs  int
 	StagedBytes int64
+	// HitBytes and MissBytes total the residency cache's per-job
+	// splits: demand served from resident tiles versus demand staged
+	// cold (hits + misses == the off-origin jobs' total staging
+	// demand). Without WithResidency, HitBytes is 0 and MissBytes is
+	// the full demand. EvictedBytes is the volume LRU eviction dropped
+	// at this run's drain instants (always 0 cache-less).
+	HitBytes, MissBytes, EvictedBytes int64
 	// Steals counts drain-instant re-bindings of committed jobs
 	// (0 unless the cluster runs WithStealing); every stolen job
 	// counts once — it dispatches on the thief immediately, so it can
@@ -170,6 +184,11 @@ func (c *Cluster) summarize(runStart sim.Time) *Result {
 			r.StagedJobs++
 			r.StagedBytes += o.StagedBytes
 		}
+		r.HitBytes += o.HitBytes
+		r.MissBytes += o.MissBytes
+	}
+	if c.resident != nil {
+		r.EvictedBytes = c.resident.Stats().EvictedBytes - c.resStart.EvictedBytes
 	}
 	r.Steals = c.steals
 	r.Makespan = end.Sub(runStart)

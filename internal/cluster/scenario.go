@@ -7,6 +7,7 @@ import (
 	"micstream/internal/core"
 	"micstream/internal/device"
 	"micstream/internal/hstreams"
+	"micstream/internal/residency"
 	"micstream/internal/sched"
 	"micstream/internal/sim"
 	"micstream/internal/workload"
@@ -53,6 +54,18 @@ type ScenarioConfig struct {
 	// {0}: all device-resident data starts on device 0, the Fig. 11
 	// shape where the first MIC holds the factorization's panels).
 	Origins []int
+	// Datasets makes the device-resident jobs share inputs: affine
+	// jobs cycle through this many named datasets, each declaring its
+	// read regions so a residency-enabled cluster can serve repeats
+	// from cache. Jobs of one dataset share one origin (cycled from
+	// Origins by dataset). 0 keeps every job's input private — no
+	// regions are declared and the cache has nothing to reuse.
+	Datasets int
+	// WriteFraction is the probability a dataset-reading job also
+	// overwrites its region, invalidating cached copies elsewhere at
+	// its completion. 0 (or negative) means read-only; only consulted
+	// when Datasets > 0.
+	WriteFraction float64
 }
 
 func (c ScenarioConfig) withDefaults() ScenarioConfig {
@@ -96,7 +109,7 @@ func BuildScenario(ctx *hstreams.Context, cfg ScenarioConfig) ([]Job, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Jobs < 0 || cfg.WindowNs <= 0 || cfg.Tenants < 1 || cfg.TilesPerJob < 1 ||
 		cfg.SizeSpread < 1 || cfg.KernelFlops < 0 || cfg.XferBytes < 0 ||
-		cfg.AffinityFraction > 1 {
+		cfg.AffinityFraction > 1 || cfg.Datasets < 0 || cfg.WriteFraction > 1 {
 		return nil, fmt.Errorf("cluster: invalid scenario config %+v", cfg)
 	}
 	for _, d := range cfg.Origins {
@@ -153,8 +166,29 @@ func BuildScenario(ctx *hstreams.Context, cfg ScenarioConfig) ([]Job, error) {
 			Origin:  -1,
 		}
 		if rng.Float64() < cfg.AffinityFraction {
-			job.Origin = cfg.Origins[affine%len(cfg.Origins)]
-			job.StagingBytes = cfg.XferBytes
+			if cfg.Datasets > 0 {
+				// Dataset-keyed jobs: input is one of Datasets shared
+				// allocations, its origin fixed per dataset so every
+				// reader agrees where the data lives, its region
+				// declared tile by tile for the residency cache.
+				ds := affine % cfg.Datasets
+				job.Origin = cfg.Origins[ds%len(cfg.Origins)]
+				job.Reads = []residency.Region{{
+					Dataset:   fmt.Sprintf("ds%d", ds),
+					First:     0,
+					Tiles:     cfg.TilesPerJob,
+					TileBytes: int64(tileBytes),
+				}}
+				job.StagingBytes = residency.TotalBytes(job.Reads)
+				// Guard the draw so read-only configs consume the same
+				// random stream as before Datasets existed.
+				if cfg.WriteFraction > 0 && rng.Float64() < cfg.WriteFraction {
+					job.Writes = job.Reads
+				}
+			} else {
+				job.Origin = cfg.Origins[affine%len(cfg.Origins)]
+				job.StagingBytes = cfg.XferBytes
+			}
 			affine++
 		}
 		jobs[j] = job

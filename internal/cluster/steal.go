@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"micstream/internal/model"
 	"micstream/internal/sim"
 )
 
@@ -92,8 +91,10 @@ func (c *Cluster) stealInto(thief int) bool {
 		// includes any staging charged at the original commitment).
 		stay := ready.Add(ahead / streams).Add(pv.Est)
 		// Predicted completion if it moves now: service from scratch
-		// plus the staging re-charge against the thief's link.
-		move := now.Add(q.Est).Add(c.stealStagingEst(q.Job, thief))
+		// plus the staging re-charge against the thief's link —
+		// residency-adjusted, so a thief already holding the job's
+		// tiles prices the move without the redundant transfer.
+		move := now.Add(q.Est).Add(c.stealStagingEst(q, thief))
 		ahead += pv.Est
 		// Only strictly positive predicted gains steal. A zero gain is
 		// almost always the estimate clamp of an overrunning in-flight
@@ -114,6 +115,13 @@ func (c *Cluster) stealInto(thief int) bool {
 		return false
 	}
 	c.submitted[victim][q.devIdx] = -1
+	if c.resident != nil {
+		// The withdrawn job's staged transfer never ran: roll back the
+		// tiles its commitment installed on the victim (tiles a later
+		// job refreshed since stay — that job's pricing relied on
+		// them). route() below re-commits against the thief.
+		c.resident.Rollback(q.rcpt)
+	}
 	o := &c.outcomes[q.idx]
 	o.Stolen = true
 	o.StolenFrom = q.dev
@@ -123,34 +131,23 @@ func (c *Cluster) stealInto(thief int) bool {
 }
 
 // stealStagingEst prices the staging a steal would re-charge, through
-// the analytic model's multi-device form: a staging-only
-// ClusterWorkload evaluated by PredictCluster, so the estimate carries
-// the same calibrated link scales and shared-host contention as every
-// other Fig. 11 staging prediction. The model charges every staged
-// byte as two crossings, while the cluster's actual charge is
-// stagingFactor × bytes in one transfer — so the model is handed half
-// the charged volume and the two conventions price the same traffic
-// even under a non-default WithStagingFactor. Zero when the job would
-// land on its origin (the un-charge case) or carries no
+// the shared stagingPrice path (model.StagingOnly evaluated by
+// PredictCluster), so the estimate carries the same calibrated link
+// scales and shared-host contention as every other Fig. 11 staging
+// prediction. The price is re-consulted against the residency cache
+// at the steal instant: a thief already holding some of the job's
+// tiles pays only the cold-miss remainder, and a thief holding all of
+// them moves the job for free — the same discount an origin return
+// gets. Zero when the job would land on its origin or carries no
 // device-resident data.
-func (c *Cluster) stealStagingEst(job *Job, dev int) sim.Duration {
-	if job.Origin < 0 || job.Origin == dev || job.StagingBytes <= 0 {
+func (c *Cluster) stealStagingEst(q *Queued, dev int) sim.Duration {
+	job := q.Job
+	if job.Origin < 0 || job.Origin == dev || q.demand <= 0 {
 		return 0
 	}
-	charged := c.stagingCharge(job.StagingBytes)
-	if charged <= 0 {
-		return 0
+	bytes := q.demand
+	if c.resident != nil && len(job.Reads) > 0 {
+		_, bytes = c.resident.Lookup(dev, job.Reads)
 	}
-	devices := len(c.scheds)
-	if devices < 2 {
-		devices = 2
-	}
-	cw := model.ClusterWorkload{
-		Workload:     model.Workload{Name: "steal/staging", Phases: func(int) []model.Phase { return nil }},
-		StagingBytes: func(int) int64 { return (charged + 1) / 2 },
-	}
-	if pred, err := c.stealModel.PredictCluster(cw, devices, 1, 1); err == nil && pred.StagingTime > 0 {
-		return pred.StagingTime
-	}
-	return c.stagingTime(job.StagingBytes)
+	return c.stagingPrice(c.stealModel, bytes)
 }

@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-hotspot-pipe", "ext-multimic", "ext-taxonomy",
 		"fairness", "imbalance",
 		"modelval", "guided",
-		"placement", "cluster-scaling", "stealing",
+		"placement", "cluster-scaling", "stealing", "residency",
 	}
 	ids := IDs()
 	got := map[string]bool{}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestResidencyAcceptance asserts the ISSUE's acceptance contract on
+// the staging-cache study: with a warm cache the staged volume drops
+// to the cold misses only (a fraction of the cache-less traffic), the
+// affinity policy's makespan beats cache-blind predicted by a real
+// margin, and affinity never stages more cold bytes than cached
+// predicted.
+func TestResidencyAcceptance(t *testing.T) {
+	rows, err := runResidencyStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("residency study has %d rows, want 3", len(rows))
+	}
+	base, pred, aff := rows[0], rows[1], rows[2]
+
+	// The cache-less baseline pays full staging and sees no hits.
+	if base.hitMB != 0 {
+		t.Errorf("cache-less row reports %g MiB of hits", base.hitMB)
+	}
+	if base.stagedMB <= 0 {
+		t.Fatalf("cache-less row staged %g MiB; the mix carries no staging to save", base.stagedMB)
+	}
+
+	// Cold-miss-only staging: the cached rows ship a fraction of the
+	// cache-less volume, and everything they ship is a cold miss
+	// (staged ≈ staging factor × misses, modulo MiB rounding).
+	for _, r := range []residencyRow{pred, aff} {
+		if r.stagedMB > 0.5*base.stagedMB {
+			t.Errorf("%s: staged %g MiB, want ≤ half the cache-less %g MiB", r.name, r.stagedMB, base.stagedMB)
+		}
+		if r.hitMB <= 0 {
+			t.Errorf("%s: no cache hits on the repeated-dataset mix", r.name)
+		}
+		if ratio := r.stagedMB / r.missMB; ratio < 1.9 || ratio > 2.1 {
+			t.Errorf("%s: staged %g MiB vs %g MiB cold misses; want the 2× staging-factor relation", r.name, r.stagedMB, r.missMB)
+		}
+	}
+
+	// The headline margins: cached predicted and affinity both beat
+	// the cache-less baseline clearly, affinity by at least 15%.
+	if pred.makespan >= base.makespan {
+		t.Errorf("cached predicted %.3f ms does not beat cache-less %.3f ms", pred.makespan, base.makespan)
+	}
+	if aff.vsBaseline < 0.15 {
+		t.Errorf("affinity beats cache-blind predicted by %.0f%%, want ≥ 15%%", aff.vsBaseline*100)
+	}
+
+	// The tie-break earns its keep: affinity herds each dataset's
+	// readers, so it never stages more cold bytes than cached
+	// predicted.
+	if aff.missMB > pred.missMB {
+		t.Errorf("affinity cold misses %g MiB exceed cached predicted's %g MiB", aff.missMB, pred.missMB)
+	}
+}
+
+// TestResidencyBitIdentical: the whole seed-averaged study is a pure
+// function of its configuration.
+func TestResidencyBitIdentical(t *testing.T) {
+	a, err := runResidencyStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runResidencyStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("repeated studies diverge:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestResidencyRegistered asserts the registry wiring and table shape.
+func TestResidencyRegistered(t *testing.T) {
+	if _, ok := Lookup("residency"); !ok {
+		t.Fatal("experiment \"residency\" not registered")
+	}
+	tab, err := Residency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 6 || len(tab.Rows) != 3 {
+		t.Fatalf("residency table is %d×%d, want 3×6", len(tab.Rows), len(tab.Columns))
+	}
+}

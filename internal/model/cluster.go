@@ -31,6 +31,22 @@ func Split(w Workload, staging func(devices int) int64) ClusterWorkload {
 	return ClusterWorkload{Workload: w, StagingBytes: staging}
 }
 
+// StagingOnly is a ClusterWorkload carrying no compute phases — only
+// a host-staging charge of the given bytes, independent of the device
+// count. PredictCluster evaluated on it prices exactly one staged
+// transfer through the calibrated, contended link: each byte crosses
+// PCIe twice (D2H out of the holder, H2D into the target), stretched
+// by TransferScale and the shared-host contention factor. The cluster
+// scheduler prices every residual staging decision — placement scores,
+// steal gains — through this form, so one convention covers them all
+// (DESIGN.md §9–§11).
+func StagingOnly(name string, bytes int64) ClusterWorkload {
+	return ClusterWorkload{
+		Workload:     Workload{Name: name, Phases: func(int) []Phase { return nil }},
+		StagingBytes: func(int) int64 { return bytes },
+	}
+}
+
 // ClusterPrediction is the model's estimate of one multi-device
 // configuration.
 type ClusterPrediction struct {

@@ -128,3 +128,56 @@ func TestPredictClusterErrors(t *testing.T) {
 		t.Error("workload without phases should error")
 	}
 }
+
+// TestStagingOnlyPricesOneTransfer: the staging-only form the cluster
+// prices residual staging with carries no compute, charges exactly the
+// two-crossing staging time, and scales with calibration and the
+// shared-host contention factor.
+func TestStagingOnlyPricesOneTransfer(t *testing.T) {
+	m := New(device.Xeon31SP(), pcie.DefaultConfig())
+	cw := StagingOnly("staging", 4<<20)
+	p, err := m.PredictCluster(cw, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DeviceWall != 0 {
+		t.Errorf("staging-only workload has device wall %v, want 0", p.DeviceWall)
+	}
+	if p.StagingTime <= 0 || p.Wall != p.StagingTime {
+		t.Errorf("wall %v / staging %v: want wall == staging > 0", p.Wall, p.StagingTime)
+	}
+	if want := m.stagingTime(4<<20, 1); p.StagingTime != want {
+		t.Errorf("staging time %v, want the two-crossing charge %v", p.StagingTime, want)
+	}
+
+	// Calibration stretches the price.
+	cal := New(device.Xeon31SP(), pcie.DefaultConfig())
+	cal.TransferScale = 2
+	pc, err := cal.PredictCluster(cw, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.StagingTime <= p.StagingTime {
+		t.Errorf("TransferScale=2 staging %v should exceed uncalibrated %v", pc.StagingTime, p.StagingTime)
+	}
+
+	// A capped host root complex stretches it further.
+	capped := New(device.Xeon31SP(), pcie.DefaultConfig())
+	capped.HostBandwidthBps = capped.Link.BandwidthBps // 2 links share 1 link's rate
+	ph, err := capped.PredictCluster(cw, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.StagingTime <= p.StagingTime {
+		t.Errorf("contended staging %v should exceed dedicated %v", ph.StagingTime, p.StagingTime)
+	}
+
+	// Zero bytes price zero.
+	z, err := m.PredictCluster(StagingOnly("none", 0), 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Wall != 0 {
+		t.Errorf("zero-byte staging-only wall %v, want 0", z.Wall)
+	}
+}
