@@ -14,6 +14,8 @@ import (
 	"micstream/internal/residency"
 	"micstream/internal/sched"
 	"micstream/internal/sim"
+	"micstream/internal/telemetry"
+	"micstream/internal/trace"
 	"micstream/internal/workload"
 )
 
@@ -39,6 +41,9 @@ type (
 	Time = sim.Time
 	// Duration is a span of virtual time (nanoseconds).
 	Duration = sim.Duration
+	// TraceSpan is one recorded resource-occupancy interval (H2D, EXE,
+	// D2H) from the platform's span recorder.
+	TraceSpan = trace.Span
 )
 
 // Pipeline layer, re-exported from the core package.
@@ -303,7 +308,42 @@ type (
 	// (hits, cold misses, evictions, invalidations), spanning every
 	// Run of the cluster; per-run splits live on ClusterResult.
 	ResidencyStats = residency.Stats
+	// Telemetry is the deterministic scheduling-event recorder the
+	// cluster and scheduler emit into when telemetry is enabled
+	// (DESIGN.md §12). A nil *Telemetry is a valid no-op sink.
+	Telemetry = telemetry.Recorder
+	// TelemetryEvent is one recorded scheduling decision.
+	TelemetryEvent = telemetry.Event
+	// TelemetryKind classifies a TelemetryEvent (admit, place,
+	// dispatch, complete, fail, steal, hit, stage, evict, invalidate,
+	// drain).
+	TelemetryKind = telemetry.Kind
+	// PlacementScore is one device's predicted completion instant
+	// recorded at a place decision.
+	PlacementScore = telemetry.Score
+	// MetricsSnapshot is the cluster's state captured at one drain
+	// instant: per-device utilization and queue state, per-tenant
+	// throughput and tail latency, and Jain's fairness index.
+	MetricsSnapshot = telemetry.MetricsSnapshot
+	// DeviceMetrics is one device's slice of a MetricsSnapshot.
+	DeviceMetrics = telemetry.DeviceMetrics
+	// TenantMetrics is one tenant's slice of a MetricsSnapshot.
+	TenantMetrics = telemetry.TenantMetrics
 )
+
+// NewTelemetry returns an empty scheduling-event recorder to hand to
+// WithClusterTelemetry or WithSchedulerTelemetry. The recorder is
+// append-only across runs: a multi-run session logs one continuous
+// timeline.
+func NewTelemetry() *Telemetry { return telemetry.NewRecorder() }
+
+// WriteChromeTrace renders spans and telemetry as Chrome trace-event
+// JSON (chrome://tracing / Perfetto). Cluster users normally call
+// Cluster.Trace, which feeds both recorders in; this entry point
+// serves custom span sources.
+func WriteChromeTrace(w io.Writer, spans []TraceSpan, rec *Telemetry) error {
+	return telemetry.WriteChromeTrace(w, spans, rec)
+}
 
 // ClusterOption configures NewCluster: the platform shape
 // (WithClusterDevices, WithClusterPartitions, WithClusterStreams) and
@@ -380,6 +420,24 @@ func WithClusterStealing(threshold time.Duration) ClusterOption {
 // factory (default FIFO).
 func WithClusterDevicePolicy(factory func() SchedPolicy) ClusterOption {
 	return func(c *clusterConfig) { c.opts = append(c.opts, cluster.WithDevicePolicy(factory)) }
+}
+
+// WithClusterTelemetry attaches a scheduling-event recorder to the
+// cluster: every admit/place/dispatch/complete/steal/residency/drain
+// decision is logged with virtual timestamps, and every drain instant
+// captures a MetricsSnapshot. Recording never feeds back into a
+// decision — a traced run's ClusterResult is bit-identical to an
+// untraced one (DESIGN.md §12). Use Cluster.Trace to export the log as
+// Chrome trace-event JSON and Cluster.Metrics for the snapshots.
+func WithClusterTelemetry(rec *Telemetry) ClusterOption {
+	return func(c *clusterConfig) { c.opts = append(c.opts, cluster.WithTelemetry(rec)) }
+}
+
+// WithSchedulerTelemetry attaches a scheduling-event recorder to a
+// standalone single-device scheduler: admissions, dispatches,
+// completions and failures are logged with virtual timestamps.
+func WithSchedulerTelemetry(rec *Telemetry) SchedOption {
+	return sched.WithTelemetry(rec)
 }
 
 // NewCluster builds a multi-MIC platform and its cluster scheduler in

@@ -231,6 +231,59 @@ func BenchmarkResidencyLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryDisabledEmit guards the nil-sink contract on the
+// dispatch hot path: emitting into a disabled recorder must cost a
+// branch, not an allocation (0 B/op, 0 allocs/op in the report).
+func BenchmarkTelemetryDisabledEmit(b *testing.B) {
+	var rec *Telemetry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Emit(TelemetryEvent{At: Time(i), Job: i, ID: i, Device: 0, Stream: 1})
+	}
+}
+
+// BenchmarkClusterTraced is BenchmarkClusterAdmission with telemetry
+// enabled: the jobs/s delta against the untraced canary is the
+// recording overhead CI's perf trajectory tracks.
+func BenchmarkClusterTraced(b *testing.B) {
+	jobs := 0
+	var inRun time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rec := NewTelemetry()
+		c, err := NewCluster(
+			WithClusterDevices(2),
+			WithClusterPartitions(2),
+			WithClusterStreams(2),
+			WithClusterQueueDepth(8),
+			WithClusterTelemetry(rec),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scenario, err := BuildClusterScenario(c, ClusterScenarioConfig{
+			Jobs: 96, Seed: 7, Arrival: "bursty", AffinityFraction: 0.5, Origins: []int{0, 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		start := time.Now()
+		r, err := c.Run(scenario)
+		inRun += time.Since(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Len() == 0 {
+			b.Fatal("traced run recorded no events")
+		}
+		jobs += len(r.Jobs)
+	}
+	if sec := inRun.Seconds(); sec > 0 {
+		b.ReportMetric(float64(jobs)/sec, "jobs/s")
+	}
+}
+
 func BenchmarkPipelineThroughput(b *testing.B) {
 	// End-to-end cost of simulating one 64-task pipelined offload.
 	for i := 0; i < b.N; i++ {

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"micstream"
@@ -24,12 +26,45 @@ import (
 
 func main() {
 	var (
-		fig  = flag.String("fig", "", "figure to regenerate (e.g. 5, 9a, fig10f, heuristics)")
-		all  = flag.Bool("all", false, "regenerate every figure")
-		list = flag.Bool("list", false, "list available experiments")
-		csv  = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		fig        = flag.String("fig", "", "figure to regenerate (e.g. 5, 9a, fig10f, heuristics)")
+		all        = flag.Bool("all", false, "regenerate every figure")
+		list       = flag.Bool("list", false, "list available experiments")
+		csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	// Profile paths fail up front with a usage error: an unwritable
+	// file is a command-line mistake, and discovering it after the
+	// experiments ran would discard the work.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			usageError("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			usageError("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var memOut *os.File
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			usageError("-memprofile: %v", err)
+		}
+		memOut = f
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(memOut); err != nil {
+				fatal(err)
+			}
+			if err := memOut.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	render := micstream.RunExperiment
 	if *csv {
@@ -63,6 +98,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "micbench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -35,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strconv"
 	"strings"
@@ -72,6 +74,10 @@ func main() {
 		compare    = flag.Bool("compare", false, "run every placement policy on the same workload")
 		scaling    = flag.Bool("scaling", false, "print a Fig. 11-style 1..devices scaling table")
 		list       = flag.Bool("list", false, "list placement policies, stream policies, and arrival processes")
+		traceOut   = flag.String("trace", "", "write the run as Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+		metrics    = flag.Bool("metrics", false, "print the drain-instant metrics snapshots")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -135,6 +141,47 @@ func main() {
 	if err != nil {
 		usageError("-origins: %v", err)
 	}
+	if *traceOut != "" && (*compare || *scaling) {
+		usageError("-trace records one run; drop -compare/-scaling")
+	}
+	// Output-path flags fail up front with a usage error: an unwritable
+	// profile or trace path is a command-line mistake, and discovering
+	// it after the run would discard the work.
+	var traceFile *os.File
+	if *traceOut != "" {
+		if traceFile, err = os.Create(*traceOut); err != nil {
+			usageError("-trace: %v", err)
+		}
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			usageError("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			usageError("-cpuprofile: %v", err)
+		}
+	}
+	var memOut *os.File
+	if *memprofile != "" {
+		if memOut, err = os.Create(*memprofile); err != nil {
+			usageError("-memprofile: %v", err)
+		}
+	}
+	finish := func() {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if memOut != nil {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(memOut); err != nil {
+				fatal(err)
+			}
+			if err := memOut.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
 
 	if *scaling {
 		runScaling(scalingFlags{
@@ -143,6 +190,7 @@ func main() {
 			cache: *cache, cachecap: *cachecap,
 			njobs: *njobs * *scale, seed: *seed, xfer: *xfer,
 		})
+		finish()
 		return
 	}
 
@@ -154,7 +202,13 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		r := runOnce(name, clusterFlags{
+		// One recorder per run: with -compare each policy's snapshots
+		// stay separate instead of accumulating into one timeline.
+		var rec *micstream.Telemetry
+		if traceFile != nil || *metrics {
+			rec = micstream.NewTelemetry()
+		}
+		r, c := runOnce(name, clusterFlags{
 			devices: *devices, partitions: *partitions, streams: *streams,
 			policy: *policy, depth: *depth, steal: *steal, staging: *staging,
 			cache: *cache, cachecap: *cachecap,
@@ -162,9 +216,22 @@ func main() {
 			datasets: *datasets, writefrac: *writefrac,
 			xfer: *xfer, origins: origin, arrival: *arrival, seed: *seed,
 			windowNs: window.Nanoseconds(), tenants: *tenants,
-		})
+		}, rec)
 		printResult(r, name, *arrival, *seed, *cache != "off", *jobs && !*compare)
+		if *metrics {
+			printMetrics(c.Metrics())
+		}
+		if traceFile != nil {
+			if err := c.Trace(traceFile); err != nil {
+				fatal(err)
+			}
+			if err := traceFile.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\ntrace: %d events, %d snapshots → %s\n", rec.Len(), len(c.Metrics()), *traceOut)
+		}
 	}
+	finish()
 }
 
 type clusterFlags struct {
@@ -187,10 +254,11 @@ type clusterFlags struct {
 	tenants                      int
 }
 
-// runOnce builds a fresh cluster and runs the configured scenario.
+// runOnce builds a fresh cluster and runs the configured scenario,
+// returning the result and the cluster (for its telemetry accessors).
 // Flag names were validated in main; the factory below runs once per
 // device after validation cannot fail.
-func runOnce(place string, f clusterFlags) *micstream.ClusterResult {
+func runOnce(place string, f clusterFlags, rec *micstream.Telemetry) (*micstream.ClusterResult, *micstream.Cluster) {
 	pol, err := micstream.PlaceBy(place)
 	if err != nil {
 		fatal(err)
@@ -217,6 +285,9 @@ func runOnce(place string, f clusterFlags) *micstream.ClusterResult {
 	}
 	if f.cache == "lru" {
 		opts = append(opts, micstream.WithResidency(f.cachecap))
+	}
+	if rec != nil {
+		opts = append(opts, micstream.WithClusterTelemetry(rec))
 	}
 	c, err := micstream.NewCluster(opts...)
 	if err != nil {
@@ -249,24 +320,34 @@ func runOnce(place string, f clusterFlags) *micstream.ClusterResult {
 	if err != nil {
 		fatal(err)
 	}
-	return r
+	return r, c
 }
 
 // printResult renders one run: header, residency accounting when the
 // cache is on, per-device table, per-tenant table, and optionally
 // every job.
 func printResult(r *micstream.ClusterResult, place, arrival string, seed uint64, cached, perJob bool) {
-	fmt.Printf("placement=%s arrival=%s seed=%d: %d jobs over %d devices, makespan %v, %d staged (%d MB), %d stolen\n",
-		place, arrival, seed, len(r.Jobs), len(r.Devices), r.Makespan, r.StagedJobs, r.StagedBytes>>20, r.Steals)
+	var kernU, linkU float64
+	for _, ds := range r.Devices {
+		kernU += ds.KernelUtilization
+		linkU += ds.LinkUtilization
+	}
+	if n := float64(len(r.Devices)); n > 0 {
+		kernU /= n
+		linkU /= n
+	}
+	fmt.Printf("placement=%s arrival=%s seed=%d: %d jobs over %d devices, makespan %v, %d staged (%d MB), %d stolen, kernel %.0f%% link %.0f%%\n",
+		place, arrival, seed, len(r.Jobs), len(r.Devices), r.Makespan, r.StagedJobs, r.StagedBytes>>20, r.Steals, kernU*100, linkU*100)
 	if cached {
 		fmt.Printf("residency: %d MB hit, %d MB cold-missed, %d MB evicted\n",
 			r.HitBytes>>20, r.MissBytes>>20, r.EvictedBytes>>20)
 	}
 	fmt.Println()
 	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "device\tjobs\tstaged\tbusy\tutilization")
+	fmt.Fprintln(tw, "device\tjobs\tstaged\tbusy\tutilization\tkernel\tlink")
 	for _, ds := range r.Devices {
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%.0f%%\n", ds.Device, ds.Jobs, ds.Staged, ds.Busy, ds.Utilization*100)
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%.0f%%\t%.0f%%\t%.0f%%\n",
+			ds.Device, ds.Jobs, ds.Staged, ds.Busy, ds.Utilization*100, ds.KernelUtilization*100, ds.LinkUtilization*100)
 	}
 	tw.Flush()
 	fmt.Println()
@@ -292,6 +373,34 @@ func printResult(r *micstream.ClusterResult, place, arrival string, seed uint64,
 		}
 		tw.Flush()
 	}
+}
+
+// printMetrics renders the drain-instant metrics time series: the
+// final snapshot's device and tenant state, preceded by a compact
+// trajectory of cluster-wide counters.
+func printMetrics(snaps []micstream.MetricsSnapshot) {
+	fmt.Println()
+	if len(snaps) == 0 {
+		fmt.Println("metrics: no snapshots recorded")
+		return
+	}
+	last := snaps[len(snaps)-1]
+	fmt.Printf("metrics: %d drain-instant snapshots, final at %v (done %d, steals %d, fairness %.3f)\n\n",
+		len(snaps), last.At, last.Done, last.Steals, last.Fairness)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "device\tqueued\tinflight\tbacklog\tkernel\tlink\tstaged[MB]\tresident[MB]")
+	for _, d := range last.Devices {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%.0f%%\t%v\t%d\t%d\n",
+			d.Device, d.Queued, d.InFlight, d.Backlog, d.Utilization*100, d.LinkBusy, d.StagedBytes>>20, d.ResidentBytes>>20)
+	}
+	tw.Flush()
+	fmt.Println()
+	tw = tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "tenant\tdone\tthrpt[job/s]\tmean\tp95")
+	for _, t := range last.Tenants {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%v\t%v\n", t.Tenant, t.Done, t.Throughput, t.MeanLatency, t.P95)
+	}
+	tw.Flush()
 }
 
 type scalingFlags struct {

@@ -38,7 +38,9 @@ package cluster
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"sort"
 
 	"micstream/internal/core"
 	"micstream/internal/hstreams"
@@ -47,6 +49,8 @@ import (
 	"micstream/internal/residency"
 	"micstream/internal/sched"
 	"micstream/internal/sim"
+	"micstream/internal/stats"
+	"micstream/internal/telemetry"
 )
 
 // DefaultStagingFactor scales a job's StagingBytes into the transfer
@@ -180,6 +184,21 @@ func WithResidency(capacityBytes int64) Option {
 // WithResidency tracker with drain-instant LRU eviction).
 func CacheModes() []string { return []string{"off", "lru"} }
 
+// WithTelemetry attaches a cluster-wide scheduling-event recorder:
+// the cluster emits admit, place (with the per-device predicted
+// scores when the placement policy exposes them), steal, residency
+// hit/stage/evict/invalidate and drain events, its embedded per-device
+// schedulers emit dispatch/complete/fail, and every drain instant
+// captures a MetricsSnapshot (DESIGN.md §12). A nil recorder (the
+// default) disables telemetry at zero cost — every emission site is
+// guarded, so the disabled hot path constructs nothing. Recording
+// never feeds back into a decision: a traced run's Result is
+// bit-identical to an untraced one. Like the residency cache, the
+// recorder persists across Run calls.
+func WithTelemetry(rec *telemetry.Recorder) Option {
+	return func(c *Cluster) { c.tel = rec }
+}
+
 // WithStealing enables drain-instant work stealing: whenever a device
 // goes idle while another's committed backlog exceeds threshold, the
 // idle device may re-bind committed-but-undispatched jobs whose
@@ -210,6 +229,7 @@ type Cluster struct {
 	caching        bool
 	cacheCap       int64
 	resident       *residency.Tracker
+	tel            *telemetry.Recorder
 
 	stagingBuf *hstreams.Buffer
 	// resStart snapshots the tracker's cumulative stats at Run entry,
@@ -228,6 +248,27 @@ type Cluster struct {
 	seq         int
 	runErr      error
 	afterChange func() // test hook: runs after every dispatch loop
+
+	// runStart anchors the run's elapsed-time accounting; linkBusy0 and
+	// kernBusy0 snapshot each device's cumulative sim.Server occupancy
+	// at Run entry (the servers accumulate across runs, the Result and
+	// metrics report per-run deltas). telStaged accumulates the staging
+	// volume charged per device this run; tenantLat/tenantSeen feed the
+	// drain-instant per-tenant metrics when telemetry is enabled.
+	runStart   sim.Time
+	linkBusy0  []sim.Duration
+	kernBusy0  []sim.Duration
+	telStaged  []int64
+	tenantLat  map[string]*tenantAccum
+	tenantSeen []string
+}
+
+// tenantAccum is the running per-tenant completion record behind the
+// drain-instant metrics: completion count plus realized latencies (in
+// virtual nanoseconds, as float64 for the percentile helpers).
+type tenantAccum struct {
+	done int
+	lats []float64
 }
 
 // New builds a cluster over every device of ctx: one embedded
@@ -276,6 +317,10 @@ func New(ctx *hstreams.Context, opts ...Option) (*Cluster, error) {
 		}
 		dev := d
 		s.SetOnDone(func(o sched.JobOutcome) { c.jobDone(dev, o) })
+		// The embedded scheduler shares the cluster's recorder and tags
+		// its dispatch/complete/fail events with its device index (a nil
+		// recorder is a valid no-op sink).
+		s.SetTelemetry(c.tel, d)
 		c.scheds = append(c.scheds, s)
 	}
 	if len(c.scheds) == 0 {
@@ -330,6 +375,22 @@ func (c *Cluster) Scheduler(d int) *sched.Scheduler { return c.scheds[d] }
 // cluster runs cache-less (for inspection; mutating it mid-run
 // corrupts the pricing).
 func (c *Cluster) Residency() *residency.Tracker { return c.resident }
+
+// Telemetry returns the cluster's event recorder, nil when telemetry
+// is disabled.
+func (c *Cluster) Telemetry() *telemetry.Recorder { return c.tel }
+
+// Metrics returns the drain-instant metrics snapshots recorded so far
+// (nil when telemetry is disabled).
+func (c *Cluster) Metrics() []telemetry.MetricsSnapshot { return c.tel.Metrics() }
+
+// Trace writes the cluster's runs so far as Chrome trace-event JSON,
+// unifying the platform's span recorder (resource occupancy) with the
+// telemetry event log (scheduling decisions). Either recorder may be
+// absent; with both disabled the export is an empty trace.
+func (c *Cluster) Trace(w io.Writer) error {
+	return telemetry.WriteChromeTrace(w, c.ctx.Recorder().Spans(), c.tel)
+}
 
 // link returns the PCIe model shared by the cluster's links (every
 // device link is configured identically).
@@ -463,9 +524,24 @@ func (c *Cluster) Run(jobs []Job) (*Result, error) {
 		// runs warm); only the per-run stats baseline resets.
 		c.resStart = c.resident.Stats()
 	}
+	// Per-run occupancy baselines: the partition and DMA servers
+	// accumulate busy time across runs, so per-run utilization is a
+	// delta against Run entry.
+	c.linkBusy0 = make([]sim.Duration, len(c.scheds))
+	c.kernBusy0 = make([]sim.Duration, len(c.scheds))
+	c.telStaged = make([]int64, len(c.scheds))
+	for d := range c.scheds {
+		c.linkBusy0[d] = c.ctx.Link(d).TotalBusy()
+		c.kernBusy0[d] = c.kernelBusy(d)
+	}
+	if c.tel.Enabled() {
+		c.tenantLat = make(map[string]*tenantAccum)
+		c.tenantSeen = nil
+	}
 
 	eng := c.ctx.Engine()
 	runStart := eng.Now()
+	c.runStart = runStart
 	for i := range jobs {
 		job := &jobs[i]
 		idx := i
@@ -521,12 +597,20 @@ func (c *Cluster) admit(job *Job, idx int) {
 	}
 	if c.runErr != nil {
 		c.outcomes[idx].Failed = true
+		if c.tel.Enabled() {
+			c.tel.Emit(telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Fail,
+				Job: idx, ID: job.ID, Tenant: tenantOf(job), Device: -1, From: -1, Stream: -1})
+		}
 		return
 	}
 	q := &Queued{Job: job, Est: est, Seq: c.seq, idx: idx, dev: -1, devIdx: -1, demand: job.StagingDemand()}
 	c.admitted[idx] = q
 	c.queue = append(c.queue, q)
 	c.seq++
+	if c.tel.Enabled() {
+		c.tel.Emit(telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Admit,
+			Job: idx, ID: job.ID, Tenant: tenantOf(job), Device: -1, From: -1, Stream: -1, Dur: est})
+	}
 	c.dispatch()
 }
 
@@ -542,6 +626,10 @@ func (c *Cluster) fail(err error) {
 	c.queue = nil
 	for _, q := range stranded {
 		c.outcomes[q.idx].Failed = true
+		if c.tel.Enabled() {
+			c.tel.Emit(telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Fail,
+				Job: q.idx, ID: q.Job.ID, Tenant: tenantOf(q.Job), Device: -1, From: -1, Stream: -1})
+		}
 	}
 }
 
@@ -595,6 +683,20 @@ func (c *Cluster) dispatch() {
 			break
 		}
 		c.queue = c.queue[1:]
+		if c.tel.Enabled() {
+			e := telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Place,
+				Job: q.idx, ID: q.Job.ID, Tenant: tenantOf(q.Job),
+				Device: eligible[pick].Device, From: -1, Stream: -1}
+			if sc, ok := c.place.(Scorer); ok {
+				// The scoring pass re-runs the policy's pricing against
+				// read-only state (residency Lookup never mutates), so
+				// capturing the scores cannot perturb the decision.
+				for i, s := range sc.Scores(q, eligible) {
+					e.Scores = append(e.Scores, telemetry.Score{Device: eligible[i].Device, Predicted: s})
+				}
+			}
+			c.tel.Emit(e)
+		}
 		c.route(q, eligible[pick].Device)
 	}
 	if c.afterChange != nil && c.runErr == nil {
@@ -635,6 +737,10 @@ func (c *Cluster) route(q *Queued, dev int) {
 			var hit int64
 			hit, miss, q.rcpt = c.resident.Commit(dev, job.Reads)
 			o.HitBytes = hit
+			if hit > 0 && c.tel.Enabled() {
+				c.tel.Emit(telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Hit,
+					Job: idx, ID: job.ID, Tenant: tenantOf(job), Device: dev, From: -1, Stream: -1, Bytes: hit})
+			}
 		}
 		o.MissBytes = miss
 		if miss > 0 {
@@ -659,6 +765,12 @@ func (c *Cluster) route(q *Queued, dev int) {
 			o.StagedBytes = charged
 			o.StagingEst = c.stagingTime(miss)
 			est += o.StagingEst
+			c.telStaged[dev] += charged
+			if c.tel.Enabled() {
+				c.tel.Emit(telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Stage,
+					Job: idx, ID: job.ID, Tenant: tenantOf(job), Device: dev, From: -1, Stream: -1,
+					Bytes: charged, Dur: o.StagingEst})
+			}
 		}
 	}
 
@@ -672,6 +784,10 @@ func (c *Cluster) route(q *Queued, dev int) {
 			c.resident.Rollback(q.rcpt)
 		}
 		c.outcomes[idx].Failed = true
+		if c.tel.Enabled() {
+			c.tel.Emit(telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Fail,
+				Job: idx, ID: job.ID, Tenant: tenantOf(job), Device: dev, From: -1, Stream: -1})
+		}
 		c.fail(fmt.Errorf("cluster: job %d on device %d: %w", job.ID, dev, err))
 		return
 	}
@@ -729,6 +845,19 @@ func (c *Cluster) jobDone(dev int, o sched.JobOutcome) {
 	if c.runErr != nil {
 		return
 	}
+	now := c.ctx.Now()
+	if c.tel.Enabled() {
+		c.tel.Emit(telemetry.Event{At: now, Kind: telemetry.Drain,
+			Job: idx, ID: out.ID, Tenant: out.Tenant, Device: dev, From: -1, Stream: o.Stream})
+		acc := c.tenantLat[out.Tenant]
+		if acc == nil {
+			acc = &tenantAccum{}
+			c.tenantLat[out.Tenant] = acc
+			c.tenantSeen = append(c.tenantSeen, out.Tenant)
+		}
+		acc.done++
+		acc.lats = append(acc.lats, float64(out.Latency()))
+	}
 	if c.resident != nil {
 		// The drain instant is where write effects land and where
 		// capacity is enforced (DESIGN.md §11): invalidate every other
@@ -737,12 +866,98 @@ func (c *Cluster) jobDone(dev int, o sched.JobOutcome) {
 		// placements priced below see the post-completion cache.
 		job := c.admitted[idx].Job
 		if len(job.Writes) > 0 {
+			var inv0 int64
+			if c.tel.Enabled() {
+				inv0 = c.resident.Stats().InvalidatedBytes
+			}
 			c.resident.Invalidate(dev, job.Writes, job.Origin >= 0 && job.Origin != dev)
+			if c.tel.Enabled() {
+				if d := c.resident.Stats().InvalidatedBytes - inv0; d > 0 {
+					c.tel.Emit(telemetry.Event{At: now, Kind: telemetry.Invalidate,
+						Job: idx, ID: out.ID, Tenant: out.Tenant, Device: dev, From: dev, Stream: -1, Bytes: d})
+				}
+			}
 		}
-		c.resident.EnforceAll()
+		// Per-device enforcement in device order — the same pass
+		// EnforceAll runs, unrolled so each device's evicted volume is
+		// observable.
+		for d := range c.scheds {
+			if ev := c.resident.Enforce(d); ev > 0 && c.tel.Enabled() {
+				c.tel.Emit(telemetry.Event{At: now, Kind: telemetry.Evict,
+					Job: -1, ID: -1, Device: d, From: -1, Stream: -1, Bytes: ev})
+			}
+		}
 	}
 	c.dispatch()
 	c.trySteals()
+	if c.tel.Enabled() {
+		c.tel.AddMetrics(c.snapshotMetrics(now))
+	}
+}
+
+// kernelBusy sums device d's cumulative partition-server occupancy —
+// the kernel-side counterpart of pcie.Link.TotalBusy.
+func (c *Cluster) kernelBusy(d int) sim.Duration {
+	var b sim.Duration
+	for _, p := range c.ctx.Device(d).Partitions() {
+		b += p.BusyTime()
+	}
+	return b
+}
+
+// snapshotMetrics captures the cluster's state at a drain instant,
+// after the instant's placement and steal passes ran. Pure
+// observation: every input is a read-only accessor, so metering never
+// perturbs a decision.
+func (c *Cluster) snapshotMetrics(at sim.Time) telemetry.MetricsSnapshot {
+	elapsed := at.Sub(c.runStart)
+	secs := elapsed.Seconds()
+	snap := telemetry.MetricsSnapshot{
+		At:           at,
+		Elapsed:      elapsed,
+		Done:         c.done,
+		Steals:       c.steals,
+		ClusterQueue: len(c.queue),
+	}
+	parts := c.ctx.Config().Partitions
+	snap.Devices = make([]telemetry.DeviceMetrics, len(c.scheds))
+	for d, s := range c.scheds {
+		dm := telemetry.DeviceMetrics{
+			Device:      d,
+			Queued:      s.QueueDepth(),
+			InFlight:    s.InFlight(),
+			Backlog:     s.PendingBacklog(),
+			KernelBusy:  c.kernelBusy(d) - c.kernBusy0[d],
+			LinkBusy:    c.ctx.Link(d).TotalBusy() - c.linkBusy0[d],
+			StagedBytes: c.telStaged[d],
+		}
+		if c.resident != nil {
+			dm.ResidentBytes = c.resident.ResidentBytes(d)
+		}
+		if secs > 0 && parts > 0 {
+			dm.Utilization = dm.KernelBusy.Seconds() / (secs * float64(parts))
+		}
+		snap.Devices[d] = dm
+	}
+	names := append([]string(nil), c.tenantSeen...)
+	sort.Strings(names)
+	tput := make([]float64, 0, len(names))
+	for _, name := range names {
+		acc := c.tenantLat[name]
+		tm := telemetry.TenantMetrics{Tenant: name, Done: acc.done}
+		if secs > 0 {
+			tm.Throughput = float64(acc.done) / secs
+		}
+		if len(acc.lats) > 0 {
+			tm.MeanLatency = sim.Duration(stats.Mean(acc.lats))
+			_, p95, _ := stats.Percentiles(acc.lats)
+			tm.P95 = sim.Duration(p95)
+		}
+		snap.Tenants = append(snap.Tenants, tm)
+		tput = append(tput, float64(acc.done))
+	}
+	snap.Fairness = stats.JainIndex(tput)
+	return snap
 }
 
 // tenantOf returns the job's tenant label, defaulting empty to

@@ -47,6 +47,19 @@ type Policy interface {
 	Place(q *Queued, eligible []DeviceView) int
 }
 
+// Scorer is optionally implemented by placement policies whose
+// decision reduces to a comparable per-device score. Scores returns
+// the predicted completion instant of q on each eligible device,
+// parallel to eligible. The telemetry layer uses it to record the
+// scores behind a Place decision; implementations must be pure reads
+// of policy and cluster state (the built-in predicted and affinity
+// policies qualify — their pricing consults only read-only residency
+// lookups), so scoring for observability can never perturb the
+// decision itself.
+type Scorer interface {
+	Scores(q *Queued, eligible []DeviceView) []sim.Time
+}
+
 // clusterBinder is implemented by policies that derive state from the
 // cluster (the platform model, the device count); New and Run call it
 // before the first placement.
@@ -205,14 +218,24 @@ func (p *predicted) score(q *Queued, v DeviceView, est sim.Duration, residual in
 	return s
 }
 
+// Scores implements Scorer: the predicted completion instant per
+// eligible device — exactly the quantities Place minimizes.
+func (p *predicted) Scores(q *Queued, eligible []DeviceView) []sim.Time {
+	est := p.serviceEst(q)
+	out := make([]sim.Time, len(eligible))
+	for i, v := range eligible {
+		out[i] = p.score(q, v, est, p.residual(q, v.Device))
+	}
+	return out
+}
+
 // Place implements Policy.
 func (p *predicted) Place(q *Queued, eligible []DeviceView) int {
-	est := p.serviceEst(q)
-	best, bestScore := 0, sim.Time(0)
-	for i, v := range eligible {
-		score := p.score(q, v, est, p.residual(q, v.Device))
-		if i == 0 || score < bestScore {
-			best, bestScore = i, score
+	scores := p.Scores(q, eligible)
+	best := 0
+	for i, s := range scores {
+		if s < scores[best] {
+			best = i
 		}
 	}
 	return best

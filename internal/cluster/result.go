@@ -97,6 +97,16 @@ type DeviceStats struct {
 	// Utilization is Busy over the run's total stream-time
 	// (makespan × streams): 1 means the device never idled.
 	Utilization float64
+	// KernelBusy and LinkBusy are this run's partition-server and
+	// DMA-server occupancy (sim.Server accounting, deltas against Run
+	// entry — the servers accumulate across runs). Unlike Busy, which
+	// counts whole-job stream occupancy including queueing inside the
+	// device, these measure the hardware models themselves.
+	KernelBusy, LinkBusy sim.Duration
+	// KernelUtilization is KernelBusy over makespan × partitions;
+	// LinkUtilization is LinkBusy over the makespan. 1 means the
+	// resource never idled during the run.
+	KernelUtilization, LinkUtilization float64
 }
 
 // Result summarizes one cluster Run.
@@ -193,10 +203,19 @@ func (c *Cluster) summarize(runStart sim.Time) *Result {
 	r.Steals = c.steals
 	r.Makespan = end.Sub(runStart)
 	r.Tenants = sched.AggregateTenants(schedOutcomes, r.Makespan)
+	parts := c.ctx.Config().Partitions
 	for d := range devs {
+		devs[d].KernelBusy = c.kernelBusy(d) - c.kernBusy0[d]
+		devs[d].LinkBusy = c.ctx.Link(d).TotalBusy() - c.linkBusy0[d]
 		streams := c.scheds[d].NumStreams()
 		if r.Makespan > 0 && streams > 0 {
 			devs[d].Utilization = devs[d].Busy.Seconds() / (r.Makespan.Seconds() * float64(streams))
+		}
+		if r.Makespan > 0 {
+			devs[d].LinkUtilization = devs[d].LinkBusy.Seconds() / r.Makespan.Seconds()
+			if parts > 0 {
+				devs[d].KernelUtilization = devs[d].KernelBusy.Seconds() / (r.Makespan.Seconds() * float64(parts))
+			}
 		}
 	}
 	r.Devices = devs

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"micstream/internal/sim"
+	"micstream/internal/telemetry"
 )
 
 // Work stealing re-binds committed-but-undispatched jobs at drain
@@ -115,6 +116,10 @@ func (c *Cluster) stealInto(thief int) bool {
 		return false
 	}
 	c.submitted[victim][q.devIdx] = -1
+	// The withdrawn job's staged transfer never ran on the victim's
+	// link; un-charge it from the per-device staging metric (route()
+	// below re-charges against the thief).
+	c.telStaged[victim] -= c.outcomes[q.idx].StagedBytes
 	if c.resident != nil {
 		// The withdrawn job's staged transfer never ran: roll back the
 		// tiles its commitment installed on the victim (tiles a later
@@ -126,6 +131,11 @@ func (c *Cluster) stealInto(thief int) bool {
 	o.Stolen = true
 	o.StolenFrom = q.dev
 	c.steals++
+	if c.tel.Enabled() {
+		c.tel.Emit(telemetry.Event{At: now, Kind: telemetry.Steal,
+			Job: q.idx, ID: q.Job.ID, Tenant: tenantOf(q.Job),
+			Device: thief, From: q.dev, Stream: -1, Dur: bestGain})
+	}
 	c.route(q, thief)
 	return c.runErr == nil
 }

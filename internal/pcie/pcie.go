@@ -141,6 +141,18 @@ func (l *Link) Transfer(dir Direction, n int64, ready sim.Time, stream, task int
 	return start, end
 }
 
+// TotalBusy reports the link's cumulative DMA occupancy across both
+// directions without double counting: the half-duplex link serializes
+// both directions through one server, the full-duplex one sums its
+// two. This is the sim.Server accounting the cluster surfaces as
+// per-device link utilization.
+func (l *Link) TotalBusy() sim.Duration {
+	if l.cfg.FullDuplex {
+		return l.h2d.Busy() + l.d2h.Busy()
+	}
+	return l.h2d.Busy()
+}
+
 // BusyTime reports cumulative DMA occupancy in the given direction.
 func (l *Link) BusyTime(dir Direction) sim.Duration {
 	if dir == D2H && l.cfg.FullDuplex {

@@ -41,6 +41,7 @@ import (
 	"micstream/internal/hstreams"
 	"micstream/internal/sim"
 	"micstream/internal/stats"
+	"micstream/internal/telemetry"
 )
 
 // Job is one unit of admission: a tenant-tagged task list that becomes
@@ -121,6 +122,17 @@ func WithPolicy(p Policy) Option {
 	return func(s *Scheduler) { s.policy = p }
 }
 
+// WithTelemetry attaches a scheduling-event recorder: the scheduler
+// emits admit, dispatch, complete and fail events at their decision
+// instants (DESIGN.md §12). A nil recorder (the default) disables
+// telemetry at zero cost — every emission site is guarded, so the
+// disabled hot path constructs nothing. Recording never feeds back
+// into a decision: a traced run's Result is bit-identical to an
+// untraced one.
+func WithTelemetry(rec *telemetry.Recorder) Option {
+	return func(s *Scheduler) { s.tel = rec }
+}
+
 // WithStreams restricts the scheduler to a subset of the context's
 // streams, identified by their context-wide ids (default: all). The
 // cluster layer uses one scheduler per device, each owning that
@@ -140,6 +152,13 @@ func WithStreams(ids ...int) Option {
 type Scheduler struct {
 	ctx    *hstreams.Context
 	policy Policy
+
+	// tel is the scheduling-event sink (nil = disabled); telDev is the
+	// device index an embedding cluster stamps on this scheduler's
+	// events, -1 standalone. In embedded mode the cluster logs its own
+	// admissions, so the scheduler emits only dispatch/complete/fail.
+	tel    *telemetry.Recorder
+	telDev int
 
 	// streams lists the context-wide ids of the owned streams; all
 	// other per-stream state is indexed by position in this slice
@@ -173,7 +192,7 @@ func New(ctx *hstreams.Context, opts ...Option) (*Scheduler, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("sched: nil context")
 	}
-	s := &Scheduler{ctx: ctx, policy: FIFO()}
+	s := &Scheduler{ctx: ctx, policy: FIFO(), telDev: -1}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -323,6 +342,16 @@ func (s *Scheduler) Withdraw(idx int) (*Job, bool) {
 	return nil, false
 }
 
+// SetTelemetry attaches a scheduling-event recorder in embedded mode,
+// stamping device on every event this scheduler emits. The cluster
+// layer calls it so per-device dispatch and completion instants land
+// in the cluster-wide log; admissions are logged by the cluster
+// itself, so an embedded scheduler does not emit Admit events.
+func (s *Scheduler) SetTelemetry(rec *telemetry.Recorder, device int) {
+	s.tel = rec
+	s.telDev = device
+}
+
 // SetOnDone registers fn to run at every job-completion instant, after
 // the scheduler has updated its own state and re-entered the dispatch
 // loop. The cluster layer uses it to place queued jobs at drain
@@ -445,10 +474,20 @@ func (s *Scheduler) admit(job *Job, idx int) {
 	}
 	if s.runErr != nil {
 		s.outcomes[idx].Failed = true
+		if s.tel.Enabled() {
+			s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Fail, Job: idx, ID: job.ID,
+				Tenant: tenantOf(job), Device: s.telDev, From: -1, Stream: -1})
+		}
 		if s.onDone != nil {
 			s.onDone(s.outcomes[idx])
 		}
 		return
+	}
+	// An embedded scheduler's admission instant is the cluster's
+	// commitment, which the cluster logs itself as a Place event.
+	if s.tel.Enabled() && s.telDev < 0 {
+		s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Admit, Job: idx, ID: job.ID,
+			Tenant: tenantOf(job), Device: -1, From: -1, Stream: -1, Dur: est})
 	}
 	s.pending = append(s.pending, &Pending{Job: job, Est: est, Seq: s.seq, idx: idx})
 	s.seq++
@@ -468,6 +507,10 @@ func (s *Scheduler) fail(err error) {
 	s.pending = nil
 	for _, p := range stranded {
 		s.outcomes[p.idx].Failed = true
+		if s.tel.Enabled() {
+			s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Fail, Job: p.idx, ID: p.Job.ID,
+				Tenant: tenantOf(p.Job), Device: s.telDev, From: -1, Stream: -1})
+		}
 		if s.onDone != nil {
 			s.onDone(s.outcomes[p.idx])
 		}
@@ -520,6 +563,10 @@ func (s *Scheduler) start(p *Pending, stream int) {
 	s.freeAt[stream] = s.ctx.Now().Add(p.Est)
 	s.outcomes[idx].Stream = global
 	s.outcomes[idx].Start = s.ctx.Now()
+	if s.tel.Enabled() {
+		s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Dispatch, Job: idx, ID: p.Job.ID,
+			Tenant: tenantOf(p.Job), Device: s.telDev, From: -1, Stream: global, Dur: p.Est})
+	}
 
 	tasks := make([]*core.Task, len(p.Job.Tasks))
 	for i, t := range p.Job.Tasks {
@@ -532,6 +579,10 @@ func (s *Scheduler) start(p *Pending, stream int) {
 		// The job claimed its stream but will never complete there;
 		// mark it failed before stranding the queue behind it.
 		s.outcomes[idx].Failed = true
+		if s.tel.Enabled() {
+			s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Fail, Job: idx, ID: p.Job.ID,
+				Tenant: tenantOf(p.Job), Device: s.telDev, From: -1, Stream: global})
+		}
 		s.fail(fmt.Errorf("sched: job %d: %w", p.Job.ID, err))
 		if s.onDone != nil {
 			s.onDone(s.outcomes[idx])
@@ -546,6 +597,11 @@ func (s *Scheduler) start(p *Pending, stream int) {
 		s.done++
 		s.busy[stream] = false
 		s.streamTenant[stream] = ""
+		if s.tel.Enabled() {
+			s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Complete, Job: idx, ID: p.Job.ID,
+				Tenant: tenantOf(p.Job), Device: s.telDev, From: -1, Stream: global,
+				Dur: s.outcomes[idx].Done.Sub(s.outcomes[idx].Start)})
+		}
 		s.dispatch()
 		if s.onDone != nil {
 			s.onDone(s.outcomes[idx])

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"micstream/internal/sim"
+	"micstream/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden Chrome trace")
+
+// goldenFixture is a handcrafted run exercising every event kind and
+// both recorders: two devices, one steal, a residency hit/stage/evict
+// cycle, and a metrics snapshot.
+func goldenFixture() ([]trace.Span, *Recorder) {
+	ms := sim.Time(sim.Millisecond)
+	spans := []trace.Span{
+		{Resource: "mic0/pcie", Stream: 0, Task: 0, Kind: trace.H2D, Start: 0, End: 1 * ms},
+		{Resource: "mic0/part0", Stream: 0, Task: 0, Kind: trace.Kernel, Label: "gemm", Start: 1 * ms, End: 3 * ms},
+		{Resource: "mic0/pcie", Stream: 0, Task: 0, Kind: trace.D2H, Start: 3 * ms, End: 4 * ms},
+		{Resource: "mic1/part0", Stream: 2, Task: 1, Kind: trace.Kernel, Label: "gemm", Start: 2 * ms, End: 5 * ms},
+		{Resource: "host", Stream: -1, Task: -1, Kind: trace.Kernel, Label: "stage \"quoted\"", Start: 0, End: 1 * ms},
+	}
+	r := NewRecorder()
+	r.Emit(Event{At: 0, Kind: Admit, Job: 0, ID: 100, Tenant: "A", Device: -1, From: -1, Stream: -1, Dur: sim.Duration(3 * ms)})
+	r.Emit(Event{At: 0, Kind: Place, Job: 0, ID: 100, Tenant: "A", Device: 0, From: -1, Stream: -1,
+		Scores: []Score{{Device: 0, Predicted: 3 * ms}, {Device: 1, Predicted: 5 * ms}}})
+	r.Emit(Event{At: 0, Kind: Hit, Job: 0, ID: 100, Tenant: "A", Device: 0, From: -1, Stream: -1, Bytes: 1 << 20})
+	r.Emit(Event{At: 0, Kind: Stage, Job: 0, ID: 100, Tenant: "A", Device: 0, From: -1, Stream: -1, Bytes: 2 << 20, Dur: sim.Duration(ms)})
+	r.Emit(Event{At: 0, Kind: Dispatch, Job: 0, ID: 100, Tenant: "A", Device: 0, From: -1, Stream: 0, Dur: sim.Duration(3 * ms)})
+	r.Emit(Event{At: sim.Time(ms / 2), Kind: Steal, Job: 1, ID: 101, Tenant: "B", Device: 1, From: 0, Stream: -1, Dur: sim.Duration(2 * ms)})
+	r.Emit(Event{At: 2 * ms, Kind: Dispatch, Job: 1, ID: 101, Tenant: "B", Device: 1, From: -1, Stream: 2, Dur: sim.Duration(3 * ms)})
+	r.Emit(Event{At: 4 * ms, Kind: Complete, Job: 0, ID: 100, Tenant: "A", Device: 0, From: -1, Stream: 0, Dur: sim.Duration(4 * ms)})
+	r.Emit(Event{At: 4 * ms, Kind: Drain, Job: 0, ID: 100, Tenant: "A", Device: 0, From: -1, Stream: 0})
+	r.Emit(Event{At: 4 * ms, Kind: Invalidate, Job: 0, ID: 100, Tenant: "A", Device: 0, From: 0, Stream: -1, Bytes: 1 << 20})
+	r.Emit(Event{At: 4 * ms, Kind: Evict, Job: -1, ID: -1, Device: 1, From: -1, Stream: -1, Bytes: 3 << 20})
+	r.Emit(Event{At: 5 * ms, Kind: Complete, Job: 1, ID: 101, Tenant: "B", Device: 1, From: -1, Stream: 2, Dur: sim.Duration(3 * ms)})
+	r.Emit(Event{At: 5 * ms, Kind: Fail, Job: 2, ID: 102, Tenant: "B", Device: -1, From: -1, Stream: -1})
+	r.AddMetrics(MetricsSnapshot{
+		At: 4 * ms, Elapsed: sim.Duration(4 * ms), Done: 1, Steals: 1, ClusterQueue: 2, Fairness: 0.5,
+		Devices: []DeviceMetrics{
+			{Device: 0, Queued: 1, InFlight: 1, StagedBytes: 2 << 20, ResidentBytes: 4 << 20},
+			{Device: 1, Queued: 0, InFlight: 1},
+		},
+	})
+	return spans, r
+}
+
+// TestChromeTraceGolden locks the export format byte-for-byte: the
+// deterministic renderer plus a handcrafted fixture must reproduce the
+// checked-in golden file exactly. Regenerate with -update after a
+// deliberate format change.
+func TestChromeTraceGolden(t *testing.T) {
+	spans, rec := goldenFixture()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, rec); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("export differs from golden %s (regenerate with -update if deliberate)\ngot:\n%s", path, buf.String())
+	}
+}
+
+// TestChromeTraceIsValidJSON parses the export with encoding/json and
+// checks the structural invariants Perfetto needs.
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	spans, rec := goldenFixture()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, rec); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("export has no events")
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		phases[ph]++
+		if ph == "" {
+			t.Fatalf("event missing ph: %v", e)
+		}
+		if _, ok := e["pid"]; !ok {
+			t.Fatalf("event missing pid: %v", e)
+		}
+	}
+	// Metadata, spans, instants and counters must all be present.
+	for _, ph := range []string{"M", "X", "i", "C"} {
+		if phases[ph] == 0 {
+			t.Errorf("export has no %q events (%v)", ph, phases)
+		}
+	}
+	// One X slice per span plus one per Complete event.
+	if want := len(spans) + rec.Count(Complete); phases["X"] != want {
+		t.Errorf("got %d X slices, want %d", phases["X"], want)
+	}
+}
+
+// TestChromeTraceEmptyInputs checks the degenerate exports stay valid.
+func TestChromeTraceEmptyInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export is not valid JSON: %v", err)
+	}
+}
+
+func TestUsOf(t *testing.T) {
+	for _, tc := range []struct {
+		ns   int64
+		want string
+	}{
+		{0, "0.000"}, {1, "0.001"}, {999, "0.999"}, {1000, "1.000"},
+		{1234567, "1234.567"}, {-1500, "-1.500"},
+	} {
+		if got := usOf(tc.ns); got != tc.want {
+			t.Errorf("usOf(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}
+
+func TestPidOf(t *testing.T) {
+	for _, tc := range []struct {
+		resource string
+		want     int
+	}{
+		{"mic0/pcie", 1}, {"mic3/part1", 4}, {"mic12", 13},
+		{"host", 0}, {"cluster/staging", 0}, {"micX/pcie", 0},
+	} {
+		if got := pidOf(tc.resource); got != tc.want {
+			t.Errorf("pidOf(%q) = %d, want %d", tc.resource, got, tc.want)
+		}
+	}
+}
+
+func TestQuote(t *testing.T) {
+	got := quote("a\"b\\c\nd")
+	if !strings.Contains(got, `\"`) || !strings.Contains(got, `\\`) || strings.ContainsRune(got, '\n') {
+		t.Errorf("quote did not escape: %s", got)
+	}
+	var s string
+	if err := json.Unmarshal([]byte(got), &s); err != nil || s != "a\"b\\c\nd" {
+		t.Errorf("quote round-trip failed: %q %v", s, err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package telemetry is the cluster-wide observability layer: a
+// deterministic, virtual-time-stamped event log of every scheduling
+// decision the platform makes — admission, placement (with the
+// per-device predicted scores behind the pick), dispatch, completion,
+// failure, work stealing, residency hits/stages/evictions/
+// invalidations, and drain instants — plus drain-instant metrics
+// snapshots (per-device utilization and queue state, per-tenant
+// throughput and tail latency) and a Chrome trace-event JSON exporter
+// that renders cluster runs as Perfetto-loadable Gantt timelines.
+//
+// The paper's whole argument rests on *seeing* temporal sharing: Fig. 1
+// is an eyeballed overlap of H2D/EXE/D2H spans, which internal/trace
+// already records for the single-device pipeline. This package extends
+// that visibility to the layers where the interesting decisions now
+// happen — placement, stealing, residency — without perturbing them:
+// the recorder follows the trace.Recorder nil-sink idiom (a nil
+// *Recorder is a valid no-op sink, and emission sites guard with
+// Enabled so the disabled hot path constructs nothing and allocates
+// nothing), every event is stamped with virtual time inside an engine
+// callback (so repeated runs produce byte-identical logs), and nothing
+// recorded ever feeds back into a scheduling decision (so a traced
+// run's Result is bit-identical to an untraced one — DESIGN.md §12).
+package telemetry
+
+import (
+	"micstream/internal/sim"
+)
+
+// Kind classifies a scheduling event.
+type Kind uint8
+
+// Event kinds, in rough lifecycle order. Admit/Place/Dispatch/
+// Complete/Fail are the job lifecycle (Place is cluster-level
+// commitment, Dispatch the stream grant); Steal is a drain-instant
+// re-binding; Hit/Stage split an off-origin job's staging demand at
+// commitment; Evict/Invalidate are residency-cache drops; Drain marks
+// a device's job-completion instant, the decision point the cluster
+// re-enters placement and stealing from.
+const (
+	Admit Kind = iota
+	Place
+	Dispatch
+	Complete
+	Fail
+	Steal
+	Hit
+	Stage
+	Evict
+	Invalidate
+	Drain
+)
+
+var kindNames = [...]string{
+	"admit", "place", "dispatch", "complete", "fail",
+	"steal", "hit", "stage", "evict", "invalidate", "drain",
+}
+
+// String returns the short event-kind label used in exports.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Score is one device's predicted completion instant at a placement
+// decision, as the placement policy scored it.
+type Score struct {
+	// Device is the device index.
+	Device int
+	// Predicted is the policy's predicted completion instant for the
+	// job on this device (staging term included).
+	Predicted sim.Time
+}
+
+// Event is one recorded scheduling decision. Unused fields hold their
+// zero value except the index-valued ones (Job, Device, From, Stream),
+// which hold -1 when not applicable so a valid device 0 is never
+// conflated with "none".
+type Event struct {
+	// At is the virtual instant the decision happened.
+	At sim.Time
+	// Seq is the event's position in the log (stamped by Emit) —
+	// events sharing a virtual instant keep their decision order.
+	Seq int
+	// Kind classifies the decision.
+	Kind Kind
+	// Job is the emitting layer's outcome index for the job (the
+	// cluster-level index on cluster events, the scheduler-local index
+	// on sched events); -1 on events not tied to a job.
+	Job int
+	// ID echoes the job's caller-assigned label — the cross-layer
+	// correlator, since cluster and device indices differ.
+	ID int
+	// Tenant is the job's tenant label ("" on non-job events).
+	Tenant string
+	// Device is the event's primary device: the commitment target on
+	// Place, the thief on Steal, the drained device on Drain; -1 on
+	// cluster-level events (Admit).
+	Device int
+	// From is the secondary device: the steal victim on Steal, the
+	// writing device on Invalidate; -1 otherwise.
+	From int
+	// Stream is the context-wide stream id on Dispatch/Complete, -1
+	// otherwise.
+	Stream int
+	// Bytes carries the event's data volume: staged bytes on Stage
+	// (the charged transfer), resident bytes served on Hit, dropped
+	// bytes on Evict/Invalidate.
+	Bytes int64
+	// Dur carries the event's duration signal: the service estimate on
+	// Admit/Dispatch, the realized service on Complete, the predicted
+	// gain on Steal, the modeled staging occupancy on Stage.
+	Dur sim.Duration
+	// Scores lists every eligible device's predicted completion at a
+	// Place decision, when the placement policy exposes its scores
+	// (predicted/affinity do; load-blind policies leave it nil).
+	Scores []Score
+}
+
+// Recorder accumulates scheduling events and drain-instant metrics
+// snapshots. A nil *Recorder is a valid no-op sink, so hot paths can
+// emit unconditionally; emission sites that would build slices (Place
+// scores, metrics snapshots) guard with Enabled so the disabled path
+// allocates nothing. The recorder is append-only across runs — like
+// the residency cache, it survives Cluster.Run calls, so a multi-run
+// session logs one continuous timeline.
+type Recorder struct {
+	events []Event
+	snaps  []MetricsSnapshot
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Enabled reports whether events will be kept. Emission sites use it
+// to skip building per-event state (score slices, metric snapshots) on
+// the disabled path.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Emit appends one event, stamping its Seq. Calls on a nil recorder
+// are dropped without allocating.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	e.Seq = len(r.events)
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events in emission order. The returned
+// slice aliases the recorder's storage; callers must not mutate it.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// AddMetrics appends one drain-instant metrics snapshot. Calls on a
+// nil recorder are dropped.
+func (r *Recorder) AddMetrics(s MetricsSnapshot) {
+	if r == nil {
+		return
+	}
+	r.snaps = append(r.snaps, s)
+}
+
+// Metrics returns the recorded snapshots in emission order. The
+// returned slice aliases the recorder's storage; callers must not
+// mutate it.
+func (r *Recorder) Metrics() []MetricsSnapshot {
+	if r == nil {
+		return nil
+	}
+	return r.snaps
+}
+
+// Reset discards all recorded events and snapshots but keeps the
+// recorder usable.
+func (r *Recorder) Reset() {
+	if r != nil {
+		r.events = r.events[:0]
+		r.snaps = r.snaps[:0]
+	}
+}
+
+// Count reports how many recorded events have the given kind.
+func (r *Recorder) Count(kind Kind) int {
+	n := 0
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

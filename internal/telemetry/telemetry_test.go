@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"testing"
+
+	"micstream/internal/sim"
+)
+
+func TestKindString(t *testing.T) {
+	for k := Admit; k <= Drain; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no label", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestRecorderSemantics(t *testing.T) {
+	r := NewRecorder()
+	if !r.Enabled() {
+		t.Fatal("fresh recorder should be enabled")
+	}
+	r.Emit(Event{At: 10, Kind: Admit, Job: 0})
+	r.Emit(Event{At: 20, Kind: Place, Job: 0, Device: 1})
+	r.Emit(Event{At: 20, Kind: Dispatch, Job: 0, Device: 1})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	for i, e := range r.Events() {
+		if e.Seq != i {
+			t.Errorf("event %d has Seq %d", i, e.Seq)
+		}
+	}
+	if r.Count(Place) != 1 || r.Count(Steal) != 0 {
+		t.Error("Count misbehaves")
+	}
+	r.AddMetrics(MetricsSnapshot{At: 20, Done: 1})
+	if len(r.Metrics()) != 1 {
+		t.Fatal("AddMetrics did not append")
+	}
+	r.Reset()
+	if r.Len() != 0 || len(r.Metrics()) != 0 {
+		t.Fatal("Reset did not clear the recorder")
+	}
+}
+
+func TestNilRecorderIsValidSink(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder must report disabled")
+	}
+	// Every method must be callable on nil without panicking.
+	r.Emit(Event{At: 1, Kind: Admit})
+	r.AddMetrics(MetricsSnapshot{})
+	r.Reset()
+	if r.Len() != 0 || r.Events() != nil || r.Metrics() != nil || r.Count(Admit) != 0 {
+		t.Fatal("nil recorder must observe as empty")
+	}
+	if r.Makespan() != 0 {
+		t.Fatal("nil recorder makespan must be zero")
+	}
+}
+
+// TestDisabledEmissionAllocatesNothing is the hot-path guarantee the
+// nil-sink idiom exists for: emitting into a disabled (nil) recorder
+// must not allocate, so always-on emission sites cost nothing when
+// telemetry is off.
+func TestDisabledEmissionAllocatesNothing(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		if r.Enabled() {
+			t.Fatal("unreachable")
+		}
+		r.Emit(Event{At: 5, Kind: Dispatch, Job: 1, ID: 2, Device: 0, Stream: 3, Dur: sim.Duration(100)})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled emission allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{At: 30, Kind: Admit})
+	r.Emit(Event{At: 10, Kind: Drain})
+	if r.Makespan() != 30 {
+		t.Fatalf("Makespan = %v, want 30", r.Makespan())
+	}
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite once and record the result as a
+# JSON perf-trajectory point.
+#
+# Usage: scripts/bench.sh [run-id]
+#
+# Runs every benchmark at -benchtime 1x (a smoke pass: one iteration
+# each, catching crashes and gross regressions rather than noise-free
+# timings) and renders the `go test -bench` output into
+# BENCH_<run-id>.json. CI invokes this with the workflow run id and
+# uploads the file as an artifact, so the sequence of artifacts across
+# runs forms a recorded perf trajectory; bench/BENCH_baseline.json is
+# the first committed point.
+#
+# Units in the JSON are the benchmark's own: ns/op becomes ns_per_op,
+# jobs/s becomes jobs_per_s, and any other metric follows the same
+# slash-to-_per_ rule.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run="${1:-local}"
+out="BENCH_${run}.json"
+benchtime="${BENCHTIME:-1x}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench . -benchtime "$benchtime" -run '^$' . | tee "$raw"
+
+{
+  printf '{\n'
+  printf '  "run": "%s",\n' "$run"
+  printf '  "benchtime": "%s",\n' "$benchtime"
+  printf '  "go": "%s",\n' "$(go env GOVERSION)"
+  printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  printf '  "benchmarks": [\n'
+  awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
+      for (i = 3; i < NF; i += 2) {
+        key = $(i + 1); gsub(/\//, "_per_", key)
+        line = line sprintf(", \"%s\": %s", key, $i)
+      }
+      line = line "}"
+      if (sep) print sep
+      printf "%s", line
+      sep = ","
+    }
+    END { print "" }
+  ' "$raw"
+  printf '  ]\n'
+  printf '}\n'
+} > "$out"
+
+echo "wrote $out"
