@@ -218,6 +218,20 @@ func NewScheduler(p *Platform, opts ...SchedOption) (*Scheduler, error) {
 // WithPolicy selects the scheduling policy (default FIFO).
 func WithPolicy(policy SchedPolicy) SchedOption { return sched.WithPolicy(policy) }
 
+// WithSchedulerSlicing enables preemptive job slicing on a standalone
+// scheduler: each stream grant dispatches at most maxTasksPerSlice
+// tasks and re-queues the remainder, so the policy re-plans at every
+// slice boundary (DESIGN.md §13). 0 (the default) dispatches whole
+// jobs.
+func WithSchedulerSlicing(maxTasksPerSlice int) SchedOption {
+	return sched.WithSlicing(maxTasksPerSlice)
+}
+
+// SchedSliceable reports whether a task list is dependency-ordered —
+// every DependsOn target precedes its dependent — the shape slicing
+// requires so any prefix of the remaining list is dependency-closed.
+func SchedSliceable(tasks []*Task) error { return sched.Sliceable(tasks) }
+
 // FIFOPolicy serves jobs in arrival order on the lowest idle stream.
 func FIFOPolicy() SchedPolicy { return sched.FIFO() }
 
@@ -278,6 +292,11 @@ type (
 	// ClusterOutcome is one job's recorded lifecycle inside a
 	// ClusterResult.
 	ClusterOutcome = cluster.Outcome
+	// ClusterMigration is one mid-job migration on a ClusterOutcome:
+	// a sliced job's undispatched remainder re-binding to another
+	// device at a drain instant (WithClusterSlicing +
+	// WithClusterStealing).
+	ClusterMigration = cluster.Migration
 	// PlacementPolicy decides which device each job commits to; see
 	// LeastLoadedPlacement, RoundRobinPlacement, PredictedPlacement
 	// and PlaceBy.
@@ -414,6 +433,18 @@ func WithClusterStealing(threshold time.Duration) ClusterOption {
 	return func(c *clusterConfig) {
 		c.opts = append(c.opts, cluster.WithStealing(sim.Duration(threshold.Nanoseconds())))
 	}
+}
+
+// WithClusterSlicing enables preemptive job slicing on every device:
+// a stream grant dispatches at most maxTasksPerSlice tasks and the
+// job's remainder re-enters the device queue at the slice boundary,
+// where lighter jobs can overtake it and — with WithClusterStealing
+// also enabled — another device can migrate it mid-job, re-pricing
+// staging and residency for only the tiles the remainder still needs
+// (DESIGN.md §13). Task lists must be dependency-ordered
+// (SchedSliceable). 0 (the default) dispatches whole jobs.
+func WithClusterSlicing(maxTasksPerSlice int) ClusterOption {
+	return func(c *clusterConfig) { c.opts = append(c.opts, cluster.WithSlicing(maxTasksPerSlice)) }
 }
 
 // WithClusterDevicePolicy sets the per-device stream-scheduling policy

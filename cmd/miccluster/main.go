@@ -8,6 +8,7 @@
 //	miccluster -place=predicted -devices=2 -spread=8 -affinity=0.5
 //	miccluster -compare -arrival=correlated -seed=7
 //	miccluster -steal=1ns -affinity=1 -origins=0 -xfer=8388608 -depth=16
+//	miccluster -slice=1 -steal=1ns -policy=sjf -spread=16
 //	miccluster -cache=lru -cachecap=67108864 -datasets=4 -place=affinity
 //	miccluster -scaling -devices=4
 //	miccluster -list
@@ -20,7 +21,13 @@
 // holding the job's tiles — needs -cache=lru to differ). -steal
 // enables drain-instant work stealing: an idle device re-binds
 // committed jobs from a device whose backlog exceeds the threshold
-// when the predicted completion (staging re-charged) improves.
+// when the predicted completion (staging re-charged) improves. -slice
+// enables preemptive job slicing: a stream grant dispatches at most
+// that many tasks and the remainder re-enters the device queue at the
+// slice boundary, where a size-aware -policy (sjf, adaptive) lets
+// light jobs overtake it and -steal extends to dispatched jobs — an
+// idle device migrates the remainder mid-job, re-pricing staging for
+// only the tasks it still needs.
 // -cache=lru enables the device-resident staging cache: -datasets
 // makes device-resident jobs cycle through shared inputs, repeats
 // stage only their cold misses, and -cachecap bounds the per-device
@@ -55,6 +62,7 @@ func main() {
 		policy     = flag.String("policy", "fifo", "per-device stream policy: fifo, rr, sjf, adaptive")
 		depth      = flag.Int("depth", 8, "per-device committed-queue depth")
 		steal      = flag.Duration("steal", 0, "work-stealing backlog threshold (e.g. 1ms; 1ns steals on any backlog); 0 disables")
+		slice      = flag.Int("slice", 0, "max tasks one stream grant dispatches (preemptive job slicing); 0 dispatches whole jobs")
 		staging    = flag.Float64("staging", 0, "staging factor override (0 = default 2x)")
 		cache      = flag.String("cache", "off", "residency cache mode: off, lru (device-resident staging cache; off-origin jobs stage cold misses only)")
 		cachecap   = flag.Int64("cachecap", 64<<20, "per-device residency cache capacity in bytes (0 = unbounded; needs -cache=lru)")
@@ -103,6 +111,8 @@ func main() {
 		usageError("-depth must be positive, got %d", *depth)
 	case *steal < 0:
 		usageError("-steal must be non-negative, got %v", *steal)
+	case *slice < 0:
+		usageError("-slice must be non-negative, got %d", *slice)
 	case *staging < 0:
 		usageError("-staging must be non-negative, got %g", *staging)
 	case *cachecap < 0:
@@ -186,8 +196,8 @@ func main() {
 	if *scaling {
 		runScaling(scalingFlags{
 			maxDevices: *devices, partitions: *partitions, streams: *streams,
-			policy: *policy, depth: *depth, steal: *steal, staging: *staging,
-			cache: *cache, cachecap: *cachecap,
+			policy: *policy, depth: *depth, steal: *steal, slice: *slice,
+			staging: *staging, cache: *cache, cachecap: *cachecap,
 			njobs: *njobs * *scale, seed: *seed, xfer: *xfer,
 		})
 		finish()
@@ -210,8 +220,8 @@ func main() {
 		}
 		r, c := runOnce(name, clusterFlags{
 			devices: *devices, partitions: *partitions, streams: *streams,
-			policy: *policy, depth: *depth, steal: *steal, staging: *staging,
-			cache: *cache, cachecap: *cachecap,
+			policy: *policy, depth: *depth, steal: *steal, slice: *slice,
+			staging: *staging, cache: *cache, cachecap: *cachecap,
 			njobs: *njobs * *scale, spread: *spread, affinity: *affinity,
 			datasets: *datasets, writefrac: *writefrac,
 			xfer: *xfer, origins: origin, arrival: *arrival, seed: *seed,
@@ -239,6 +249,7 @@ type clusterFlags struct {
 	policy                       string
 	depth                        int
 	steal                        time.Duration
+	slice                        int
 	staging                      float64
 	cache                        string
 	cachecap                     int64
@@ -279,6 +290,9 @@ func runOnce(place string, f clusterFlags, rec *micstream.Telemetry) (*micstream
 	}
 	if f.steal > 0 {
 		opts = append(opts, micstream.WithClusterStealing(f.steal))
+	}
+	if f.slice > 0 {
+		opts = append(opts, micstream.WithClusterSlicing(f.slice))
 	}
 	if f.staging > 0 {
 		opts = append(opts, micstream.WithClusterStagingFactor(f.staging))
@@ -336,8 +350,8 @@ func printResult(r *micstream.ClusterResult, place, arrival string, seed uint64,
 		kernU /= n
 		linkU /= n
 	}
-	fmt.Printf("placement=%s arrival=%s seed=%d: %d jobs over %d devices, makespan %v, %d staged (%d MB), %d stolen, kernel %.0f%% link %.0f%%\n",
-		place, arrival, seed, len(r.Jobs), len(r.Devices), r.Makespan, r.StagedJobs, r.StagedBytes>>20, r.Steals, kernU*100, linkU*100)
+	fmt.Printf("placement=%s arrival=%s seed=%d: %d jobs over %d devices, makespan %v, %d staged (%d MB), %d stolen (%d mid-job), kernel %.0f%% link %.0f%%\n",
+		place, arrival, seed, len(r.Jobs), len(r.Devices), r.Makespan, r.StagedJobs, r.StagedBytes>>20, r.Steals, r.Preempts, kernU*100, linkU*100)
 	if cached {
 		fmt.Printf("residency: %d MB hit, %d MB cold-missed, %d MB evicted\n",
 			r.HitBytes>>20, r.MissBytes>>20, r.EvictedBytes>>20)
@@ -362,14 +376,17 @@ func printResult(r *micstream.ClusterResult, place, arrival string, seed uint64,
 	if perJob {
 		fmt.Println()
 		tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
-		fmt.Fprintln(tw, "job\ttenant\torigin\tdevice\tstream\tstaged\tstolen\tarrival\tplaced\tstart\tdone\tlatency")
+		fmt.Fprintln(tw, "job\ttenant\torigin\tdevice\tstream\tslices\tstaged\tstolen\tarrival\tplaced\tstart\tdone\tlatency")
 		for _, o := range r.Jobs {
 			stolen := "-"
 			if o.Stolen {
 				stolen = fmt.Sprintf("%d→%d@%v", o.StolenFrom, o.Device, o.StolenAt)
 			}
-			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%v\t%s\t%v\t%v\t%v\t%v\t%v\n",
-				o.ID, o.Tenant, o.Origin, o.Device, o.Stream, o.Staged, stolen, o.Arrival, o.Placed, o.Start, o.Done, o.Latency())
+			if n := len(o.Migrations); n > 0 {
+				stolen += fmt.Sprintf(" (%d mid-job)", n)
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%v\t%s\t%v\t%v\t%v\t%v\t%v\n",
+				o.ID, o.Tenant, o.Origin, o.Device, o.Stream, o.Slices, o.Staged, stolen, o.Arrival, o.Placed, o.Start, o.Done, o.Latency())
 		}
 		tw.Flush()
 	}
@@ -408,6 +425,7 @@ type scalingFlags struct {
 	policy                          string
 	depth                           int
 	steal                           time.Duration
+	slice                           int
 	staging                         float64
 	cache                           string
 	cachecap                        int64
@@ -453,6 +471,9 @@ func runScaling(f scalingFlags) {
 		}
 		if f.steal > 0 {
 			opts = append(opts, micstream.WithClusterStealing(f.steal))
+		}
+		if f.slice > 0 {
+			opts = append(opts, micstream.WithClusterSlicing(f.slice))
 		}
 		if f.staging > 0 {
 			opts = append(opts, micstream.WithClusterStagingFactor(f.staging))

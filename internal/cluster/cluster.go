@@ -117,7 +117,9 @@ func (j *Job) StagingDemand() int64 {
 type Queued struct {
 	// Job is the queued job.
 	Job *Job
-	// Est is the job's service-time estimate excluding staging.
+	// Est is the job's service-time estimate excluding staging. After a
+	// mid-job migration (WithSlicing + WithStealing) it covers only the
+	// remaining tasks — completed slices no longer count.
 	Est sim.Duration
 	// Seq is the cluster admission sequence number.
 	Seq int
@@ -128,11 +130,25 @@ type Queued struct {
 	// was routed to and its outcome index on that device's scheduler.
 	// Work stealing uses them to withdraw a committed job.
 	dev, devIdx int
-	// demand caches Job.StagingDemand.
+	// next is the index of the job's first not-yet-dispatched task in
+	// the original task list: 0 until a mid-job steal migrates a
+	// partially-run remainder (DESIGN.md §13).
+	next int
+	// reads is the still-needed read set (the full Job.Reads until a
+	// migration trims it to the remainder's share) and demand its
+	// volume (initially Job.StagingDemand).
+	reads  []residency.Region
 	demand int64
 	// rcpt records what the last commitment installed in the residency
-	// tracker, so a steal's withdraw can roll it back.
-	rcpt residency.Receipt
+	// tracker, so a steal's withdraw can roll it back; staged,
+	// stagedBytes, stagingEst and hitBytes/missBytes are that
+	// commitment's own staging accounting, so a pre-dispatch withdraw
+	// can un-charge exactly what this commitment added.
+	rcpt                residency.Receipt
+	staged              bool
+	stagedBytes         int64
+	stagingEst          sim.Duration
+	hitBytes, missBytes int64
 }
 
 // Option configures a Cluster.
@@ -205,12 +221,29 @@ func WithTelemetry(rec *telemetry.Recorder) Option {
 // predicted completion — including the Fig. 11 staging re-charge on
 // the new link — improves by moving (DESIGN.md §10). threshold 0
 // steals whenever any backlog exists; a negative threshold is
-// rejected by New.
+// rejected by New. With WithSlicing also enabled the pass extends to
+// *dispatched* jobs: a partially-run job's undispatched remainder,
+// re-queued at a slice boundary, may migrate mid-job (DESIGN.md §13).
 func WithStealing(threshold sim.Duration) Option {
 	return func(c *Cluster) {
 		c.stealing = true
 		c.stealThreshold = threshold
 	}
+}
+
+// WithSlicing enables preemptive job slicing on every embedded
+// per-device scheduler (sched.WithSlicing): a stream grant dispatches
+// at most maxTasksPerSlice tasks and the remainder re-queues behind
+// the device policy at the slice boundary, so light jobs overtake a
+// heavy job between its slices and tenant shares re-plan at task
+// granularity. Combined with WithStealing, drain-instant steal passes
+// may also migrate a waiting remainder to an idle device, re-pricing
+// the Fig. 11 staging term for only the tiles the remainder still
+// needs (DESIGN.md §13). 0 (the default) disables slicing; a negative
+// cap is rejected by New. Slicing requires dependency-ordered task
+// lists (sched.Sliceable); Run rejects jobs violating that order.
+func WithSlicing(maxTasksPerSlice int) Option {
+	return func(c *Cluster) { c.sliceMax = maxTasksPerSlice }
 }
 
 // Cluster routes jobs across the devices of one context. A cluster
@@ -226,6 +259,7 @@ type Cluster struct {
 	stealing       bool
 	stealThreshold sim.Duration
 	stealModel     *model.Model
+	sliceMax       int
 	caching        bool
 	cacheCap       int64
 	resident       *residency.Tracker
@@ -245,6 +279,7 @@ type Cluster struct {
 	runFlops    float64
 	done        int
 	steals      int
+	preempts    int
 	seq         int
 	runErr      error
 	afterChange func() // test hook: runs after every dispatch loop
@@ -298,6 +333,9 @@ func New(ctx *hstreams.Context, opts ...Option) (*Cluster, error) {
 	if c.stealing && c.stealThreshold < 0 {
 		return nil, fmt.Errorf("cluster: negative steal threshold %v", c.stealThreshold)
 	}
+	if c.sliceMax < 0 {
+		return nil, fmt.Errorf("cluster: negative slice cap %d", c.sliceMax)
+	}
 	cfg := ctx.Config()
 	perDev := cfg.Partitions * cfg.StreamsPerPartition
 	if c.depth == 0 {
@@ -311,7 +349,11 @@ func New(ctx *hstreams.Context, opts ...Option) (*Cluster, error) {
 		for i := range ids {
 			ids[i] = d*perDev + i
 		}
-		s, err := sched.New(ctx, sched.WithPolicy(c.devPolicy()), sched.WithStreams(ids...))
+		sopts := []sched.Option{sched.WithPolicy(c.devPolicy()), sched.WithStreams(ids...)}
+		if c.sliceMax > 0 {
+			sopts = append(sopts, sched.WithSlicing(c.sliceMax))
+		}
+		s, err := sched.New(ctx, sopts...)
 		if err != nil {
 			return nil, err
 		}
@@ -492,6 +534,11 @@ func (c *Cluster) Run(jobs []Job) (*Result, error) {
 		if err := residency.Validate(j.Writes); err != nil {
 			return nil, fmt.Errorf("cluster: job %d writes: %w", j.ID, err)
 		}
+		if c.sliceMax > 0 {
+			if err := sched.Sliceable(j.Tasks); err != nil {
+				return nil, fmt.Errorf("cluster: job %d (tenant %q): %w", j.ID, j.Tenant, err)
+			}
+		}
 	}
 	for _, s := range c.scheds {
 		s.Reset()
@@ -517,6 +564,7 @@ func (c *Cluster) Run(jobs []Job) (*Result, error) {
 	}
 	c.done = 0
 	c.steals = 0
+	c.preempts = 0
 	c.seq = 0
 	c.runErr = nil
 	if c.resident != nil {
@@ -603,7 +651,8 @@ func (c *Cluster) admit(job *Job, idx int) {
 		}
 		return
 	}
-	q := &Queued{Job: job, Est: est, Seq: c.seq, idx: idx, dev: -1, devIdx: -1, demand: job.StagingDemand()}
+	q := &Queued{Job: job, Est: est, Seq: c.seq, idx: idx, dev: -1, devIdx: -1,
+		reads: job.Reads, demand: job.StagingDemand()}
 	c.admitted[idx] = q
 	c.queue = append(c.queue, q)
 	c.seq++
@@ -707,9 +756,11 @@ func (c *Cluster) dispatch() {
 // route commits one job to a device: charges the staging transfer when
 // the job runs off its origin — only the cold-miss remainder when the
 // residency cache holds part of the job's read set — submits to the
-// device's scheduler, and records the placement. A stolen job routes
-// through here again — the staging fields reset so the charge always
-// reflects the final device.
+// device's scheduler, and records the placement. A pre-dispatch stolen
+// job routes through here again with its staging fields reset, so the
+// charge reflects the final device; a mid-job migrated remainder
+// (q.next > 0) routes only its remaining tasks and *accumulates* the
+// staging accounting, because the victim's transfer really ran.
 func (c *Cluster) route(q *Queued, dev int) {
 	job := q.Job
 	idx := q.idx
@@ -722,27 +773,59 @@ func (c *Cluster) route(q *Queued, dev int) {
 		// instant (PlaceWait measures cluster-queue time, not steals).
 		o.StolenAt = c.ctx.Now()
 	}
-	o.Staged = false
-	o.StagedBytes = 0
-	o.StagingEst = 0
-	o.HitBytes = 0
-	o.MissBytes = 0
+	if q.next == 0 {
+		o.Staged = false
+		o.StagedBytes = 0
+		o.StagingEst = 0
+		o.HitBytes = 0
+		o.MissBytes = 0
+	}
 	q.rcpt = residency.Receipt{}
+	q.staged = false
+	q.stagedBytes, q.stagingEst = 0, 0
+	q.hitBytes, q.missBytes = 0, 0
 
-	tasks := job.Tasks
+	tasks := job.Tasks[q.next:]
+	if q.next > 0 {
+		// A migrated remainder re-enters as a fresh submission on the
+		// thief: dependencies on consumed tasks are satisfied temporally
+		// (the slices serialized on the victim) and must be stripped, or
+		// EnqueuePhase would reject references to tasks it never saw.
+		inRem := make(map[int]bool, len(tasks))
+		for _, t := range tasks {
+			inRem[t.ID] = true
+		}
+		clean := make([]*core.Task, len(tasks))
+		for i, t := range tasks {
+			ct := *t
+			if len(ct.DependsOn) > 0 {
+				deps := make([]int, 0, len(ct.DependsOn))
+				for _, d := range ct.DependsOn {
+					if inRem[d] {
+						deps = append(deps, d)
+					}
+				}
+				ct.DependsOn = deps
+			}
+			clean[i] = &ct
+		}
+		tasks = clean
+	}
 	est := q.Est
 	if job.Origin >= 0 && job.Origin != dev && q.demand > 0 {
 		miss := q.demand
-		if c.resident != nil && len(job.Reads) > 0 {
+		if c.resident != nil && len(q.reads) > 0 {
 			var hit int64
-			hit, miss, q.rcpt = c.resident.Commit(dev, job.Reads)
-			o.HitBytes = hit
+			hit, miss, q.rcpt = c.resident.Commit(dev, q.reads)
+			q.hitBytes = hit
+			o.HitBytes += hit
 			if hit > 0 && c.tel.Enabled() {
 				c.tel.Emit(telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Hit,
 					Job: idx, ID: job.ID, Tenant: tenantOf(job), Device: dev, From: -1, Stream: -1, Bytes: hit})
 			}
 		}
-		o.MissBytes = miss
+		q.missBytes = miss
+		o.MissBytes += miss
 		if miss > 0 {
 			charged := c.stagingCharge(miss)
 			buf := c.ensureStaging(int(charged))
@@ -762,14 +845,17 @@ func (c *Cluster) route(q *Queued, dev int) {
 			// FIFO order delays every real task behind the staged bytes.
 			tasks = append([]*core.Task{stage}, tasks...)
 			o.Staged = true
-			o.StagedBytes = charged
-			o.StagingEst = c.stagingTime(miss)
-			est += o.StagingEst
+			q.staged = true
+			q.stagedBytes = charged
+			q.stagingEst = c.stagingTime(miss)
+			o.StagedBytes += charged
+			o.StagingEst += q.stagingEst
+			est += q.stagingEst
 			c.telStaged[dev] += charged
 			if c.tel.Enabled() {
 				c.tel.Emit(telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Stage,
 					Job: idx, ID: job.ID, Tenant: tenantOf(job), Device: dev, From: -1, Stream: -1,
-					Bytes: charged, Dur: o.StagingEst})
+					Bytes: charged, Dur: q.stagingEst})
 			}
 		}
 	}
@@ -839,7 +925,13 @@ func (c *Cluster) jobDone(dev int, o sched.JobOutcome) {
 		return
 	}
 	out.Stream = o.Stream
-	out.Start = o.Start
+	if out.Slices == 0 {
+		// A mid-job migration already captured the victim's dispatch
+		// instant (and slice count); only a never-migrated job takes its
+		// Start from the completing device.
+		out.Start = o.Start
+	}
+	out.Slices += o.Slices
 	out.Done = o.Done
 	c.done++
 	if c.runErr != nil {
@@ -958,6 +1050,47 @@ func (c *Cluster) snapshotMetrics(at sim.Time) telemetry.MetricsSnapshot {
 	}
 	snap.Fairness = stats.JainIndex(tput)
 	return snap
+}
+
+// remainderNeeds maps a migrated remainder — tasks [next:] of the
+// job's original list — onto the staging demand it still carries. The
+// job's declared read tiles are assumed consumed uniformly in task
+// order (task k of K covers read tiles [T·k/K, T·(k+1)/K)); a tile
+// straddling the cut still belongs to the remainder. For the per-tile
+// task lists the scenario generator builds this is exact — task k
+// reads tile k — and for any other shape it is a deterministic
+// proportional model. Jobs declaring StagingBytes without regions
+// prorate the volume the same way.
+func remainderNeeds(job *Job, next int) ([]residency.Region, int64) {
+	k := len(job.Tasks)
+	if next <= 0 || k == 0 {
+		return job.Reads, job.StagingDemand()
+	}
+	if next >= k {
+		return nil, 0
+	}
+	if len(job.Reads) == 0 {
+		rem := job.StagingBytes - job.StagingBytes*int64(next)/int64(k)
+		return nil, rem
+	}
+	total := 0
+	for _, r := range job.Reads {
+		total += r.Tiles
+	}
+	skip := total * next / k
+	var rem []residency.Region
+	for _, r := range job.Reads {
+		if skip >= r.Tiles {
+			skip -= r.Tiles
+			continue
+		}
+		rr := r
+		rr.First += skip
+		rr.Tiles -= skip
+		skip = 0
+		rem = append(rem, rr)
+	}
+	return rem, residency.TotalBytes(rem)
 }
 
 // tenantOf returns the job's tenant label, defaulting empty to

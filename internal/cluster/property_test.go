@@ -1,16 +1,36 @@
 package cluster
 
 import (
-	"reflect"
-	"sort"
 	"testing"
 
+	"micstream/internal/schedtest"
 	"micstream/internal/sim"
 )
 
+// clusterMarkNames labels the cluster lifecycle for the shared
+// harness: admission, commitment, dispatch, completion.
+var clusterMarkNames = []string{"arrival", "placed", "start", "done"}
+
+// clusterSpans projects a cluster result onto the shared invariant
+// harness: the wait interval is the placement wait arrival→placed (the
+// cluster-attributable share), the busy interval the stream occupancy,
+// and the lifecycle promises arrival ≤ placed ≤ start ≤ done.
+func clusterSpans(r *Result) []schedtest.Span {
+	out := make([]schedtest.Span, 0, len(r.Jobs))
+	for _, o := range r.Jobs {
+		out = append(out, schedtest.Span{
+			ID: o.ID, Index: o.Index, Stream: o.Stream,
+			Wait:  [2]sim.Time{o.Arrival, o.Placed},
+			Busy:  [2]sim.Time{o.Start, o.Done},
+			Marks: []sim.Time{o.Arrival, o.Placed, o.Start, o.Done},
+		})
+	}
+	return out
+}
+
 // runScenario executes one (placement, scenario, seed) cell on a fresh
 // 2-device × 2-partition × 2-stream platform.
-func runScenario(t *testing.T, place string, cfg ScenarioConfig) *Result {
+func runScenario(t *testing.T, place string, cfg ScenarioConfig, extra ...Option) *Result {
 	t.Helper()
 	ctx := newCtx(t, 2, 2, 2)
 	jobs, err := BuildScenario(ctx, cfg)
@@ -21,7 +41,7 @@ func runScenario(t *testing.T, place string, cfg ScenarioConfig) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(ctx, WithPlacement(p))
+	c, err := New(ctx, append([]Option{WithPlacement(p)}, extra...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,77 +69,26 @@ func imbalanced(seed uint64) ScenarioConfig {
 // byte-for-byte identical results on every run.
 func TestClusterBitIdenticalRepeats(t *testing.T) {
 	for _, place := range Policies() {
-		a := runScenario(t, place, imbalanced(99))
-		b := runScenario(t, place, imbalanced(99))
-		if !reflect.DeepEqual(a, b) {
-			t.Fatalf("%s: repeated cluster runs differ", place)
-		}
-		c := runScenario(t, place, imbalanced(100))
-		if reflect.DeepEqual(a, c) {
-			t.Fatalf("%s: different seeds produced identical schedules", place)
-		}
+		place := place
+		schedtest.BitIdentical(t, place, func(seed uint64) any {
+			return runScenario(t, place, imbalanced(seed))
+		}, 99, 100)
 	}
 }
 
 // TestClusterWorkConserving asserts the cluster-level invariant for
 // the built-in (non-pinning) policies: while any job waits unplaced in
-// the cluster queue, every stream of every device is busy.
-// Reconstructed from outcomes: each job's placement-wait interval
-// [arrival, placed) must be covered by the busy intervals of all
-// streams.
+// the cluster queue, every stream of every device is busy
+// (schedtest.WorkConserving over the placement-wait intervals).
 func TestClusterWorkConserving(t *testing.T) {
+	streams := []int{0, 1, 2, 3, 4, 5, 6, 7}
 	for _, place := range Policies() {
 		for _, seed := range []uint64{5, 11, 23} {
 			cfg := imbalanced(seed)
 			cfg.Jobs = 64
 			r := runScenario(t, place, cfg)
-			assertClusterWorkConserving(t, place, r, 8)
+			schedtest.WorkConserving(t, place, clusterSpans(r), streams)
 		}
-	}
-}
-
-func assertClusterWorkConserving(t *testing.T, label string, r *Result, streams int) {
-	t.Helper()
-	type iv struct{ start, end sim.Time }
-	busy := make(map[int][]iv, streams)
-	for _, o := range r.Jobs {
-		busy[o.Stream] = append(busy[o.Stream], iv{o.Start, o.Done})
-	}
-	for s := range busy {
-		sort.Slice(busy[s], func(i, j int) bool { return busy[s][i].start < busy[s][j].start })
-	}
-	covered := func(s int, from, to sim.Time) bool {
-		at := from
-		for _, i := range busy[s] {
-			if i.start > at {
-				return false
-			}
-			if i.end > at {
-				at = i.end
-			}
-			if at >= to {
-				return true
-			}
-		}
-		return at >= to
-	}
-	violations := 0
-	for _, o := range r.Jobs {
-		if o.PlaceWait() <= 0 {
-			continue
-		}
-		for s := 0; s < streams; s++ {
-			if !covered(s, o.Arrival, o.Placed) {
-				violations++
-				if violations <= 3 {
-					t.Errorf("%s: job %d waited unplaced [%v,%v) while stream %d was idle",
-						label, o.ID, o.Arrival, o.Placed, s)
-				}
-			}
-		}
-	}
-	if violations > 3 {
-		t.Errorf("%s: %d further work-conservation violations suppressed", label, violations-3)
 	}
 }
 
@@ -169,20 +138,7 @@ func TestEveryClusterJobRunsExactlyOnce(t *testing.T) {
 		cfg := imbalanced(42)
 		cfg.Jobs = 60
 		r := runScenario(t, place, cfg)
-		seen := map[int]bool{}
-		for _, o := range r.Jobs {
-			if seen[o.Index] {
-				t.Fatalf("%s: job index %d appears twice", place, o.Index)
-			}
-			seen[o.Index] = true
-			if o.Done < o.Start || o.Start < o.Placed || o.Placed < o.Arrival {
-				t.Fatalf("%s: job %d has inverted lifecycle %v/%v/%v/%v",
-					place, o.ID, o.Arrival, o.Placed, o.Start, o.Done)
-			}
-		}
-		if len(seen) != 60 {
-			t.Fatalf("%s: %d unique jobs completed, want 60", place, len(seen))
-		}
+		schedtest.UniqueCompletion(t, place, clusterSpans(r), 60, clusterMarkNames)
 	}
 }
 

@@ -39,19 +39,41 @@ type Outcome struct {
 	// Origin echoes the device holding the job's inputs (-1:
 	// host-resident), so final placement is auditable per job.
 	Origin int
-	// Stolen reports the job was withdrawn from its committed device
-	// at a drain instant and re-bound; StolenFrom is that device (-1
-	// when never stolen) and StolenAt the steal instant. A stolen job
-	// dispatches immediately on the thief, so a job is stolen at most
-	// once. Device names where the job ran; Placed stays the first
-	// commitment instant.
+	// Stolen reports the job was withdrawn from a device at a drain
+	// instant and re-bound; StolenFrom is the most recent victim (-1
+	// when never stolen) and StolenAt the latest re-binding instant.
+	// Without WithSlicing a stolen job dispatches immediately on the
+	// thief, so it is stolen at most once and Device names where it
+	// ran; with slicing a job may additionally migrate mid-job (see
+	// Migrations). Placed stays the first commitment instant.
 	Stolen     bool
 	StolenFrom int
 	StolenAt   sim.Time
+	// Slices counts the stream grants the job took across every device
+	// it ran on: 1 for a whole-job dispatch, more under WithSlicing.
+	// Zero means the job never reached a stream.
+	Slices int
+	// Migrations is the job's mid-job migration history, in order: at
+	// each entry the undispatched remainder — tasks [NextTask:] of the
+	// original list — left From for To at the drain instant At
+	// (DESIGN.md §13). Empty for unstolen and pre-dispatch-stolen jobs.
+	Migrations []Migration
 	// Failed marks a job the run admitted but could never place or
 	// run because a scheduling error aborted the run; its lifecycle
 	// fields past Arrival are meaningless.
 	Failed bool
+}
+
+// Migration records one mid-job re-binding of a partially-run job's
+// undispatched remainder (WithSlicing + WithStealing).
+type Migration struct {
+	// From and To are the victim and thief devices.
+	From, To int
+	// At is the migration instant (a drain instant).
+	At sim.Time
+	// NextTask indexes the first task of the migrated remainder in the
+	// job's original task list.
+	NextTask int
 }
 
 // Wait is the total queueing delay (dispatch minus arrival).
@@ -138,11 +160,13 @@ type Result struct {
 	// the full demand. EvictedBytes is the volume LRU eviction dropped
 	// at this run's drain instants (always 0 cache-less).
 	HitBytes, MissBytes, EvictedBytes int64
-	// Steals counts drain-instant re-bindings of committed jobs
-	// (0 unless the cluster runs WithStealing); every stolen job
-	// counts once — it dispatches on the thief immediately, so it can
-	// never be re-stolen.
-	Steals int
+	// Steals counts drain-instant re-bindings of committed,
+	// not-yet-dispatched jobs (0 unless the cluster runs WithStealing).
+	// Preempts counts mid-job migrations — a dispatched job's
+	// undispatched remainder re-binding at a slice boundary (0 unless
+	// WithSlicing and WithStealing are both enabled).
+	Steals   int
+	Preempts int
 	// Failed counts jobs the run admitted but never ran because a
 	// scheduling error aborted it (Run also returns the error).
 	Failed int
@@ -201,6 +225,7 @@ func (c *Cluster) summarize(runStart sim.Time) *Result {
 		r.EvictedBytes = c.resident.Stats().EvictedBytes - c.resStart.EvictedBytes
 	}
 	r.Steals = c.steals
+	r.Preempts = c.preempts
 	r.Makespan = end.Sub(runStart)
 	r.Tenants = sched.AggregateTenants(schedOutcomes, r.Makespan)
 	parts := c.ctx.Config().Partitions

@@ -16,6 +16,17 @@ import (
 // (and un-charges the old one — the withdrawn job never started its
 // staged transfer), withdraws it and re-routes it.
 //
+// With WithSlicing also enabled, the candidate set extends to
+// *dispatched* jobs: a partially-run job's undispatched remainder,
+// re-queued at a slice boundary, is in the victim's pending queue like
+// any never-started job and may migrate mid-job (DESIGN.md §13). A
+// remainder's move is priced at its *remaining* service plus the
+// staging residual for only the tiles its remaining tasks still need;
+// on migration the victim keeps the tiles the completed slices
+// consumed (their transfer really ran) while the remainder's unused
+// tiles roll back region-scoped, and the migration is logged as a
+// Preempt event and counted in Result.Preempts.
+//
 // Determinism: steal passes run only at drain instants (job-completion
 // events), scan thieves in ascending device order, pick the strictly
 // deepest victim backlog (ties keep the lowest device index), and pick
@@ -79,6 +90,8 @@ func (c *Cluster) stealInto(thief int) bool {
 	streams := sim.Duration(c.scheds[victim].NumStreams())
 	best := -1
 	var bestGain sim.Duration
+	var bestNext int
+	var bestEst sim.Duration
 	var ahead sim.Duration
 	for _, pv := range c.scheds[victim].PendingJobs() {
 		idx := c.submitted[victim][pv.Index]
@@ -89,13 +102,23 @@ func (c *Cluster) stealInto(thief int) bool {
 		// Predicted completion if the job waits out the queue ahead of
 		// it on the victim: next drain, the backlog spread over the
 		// victim's streams, then its own service (pv.Est already
-		// includes any staging charged at the original commitment).
+		// includes any staging charged at the original commitment, and
+		// for a mid-job remainder covers only the remaining tasks).
 		stay := ready.Add(ahead / streams).Add(pv.Est)
-		// Predicted completion if it moves now: service from scratch
-		// plus the staging re-charge against the thief's link —
-		// residency-adjusted, so a thief already holding the job's
-		// tiles prices the move without the redundant transfer.
-		move := now.Add(q.Est).Add(c.stealStagingEst(q, thief))
+		var move sim.Time
+		if pv.Next > 0 {
+			// A mid-job remainder (WithSlicing): moving re-runs only the
+			// remaining tasks — pv.Est, re-estimated at the slice
+			// boundary — plus the staging residual for only the tiles
+			// those tasks still need on the thief.
+			move = now.Add(pv.Est).Add(c.stealRemainderStagingEst(q, pv.Next, thief))
+		} else {
+			// Predicted completion if it moves now: service from scratch
+			// plus the staging re-charge against the thief's link —
+			// residency-adjusted, so a thief already holding the job's
+			// tiles prices the move without the redundant transfer.
+			move = now.Add(q.Est).Add(c.stealStagingEst(q, thief))
+		}
 		ahead += pv.Est
 		// Only strictly positive predicted gains steal. A zero gain is
 		// almost always the estimate clamp of an overrunning in-flight
@@ -103,7 +126,7 @@ func (c *Cluster) stealInto(thief int) bool {
 		// because the move estimate cannot see the partition and link
 		// contention the stolen job adds on the thief.
 		if gain := stay.Sub(move); gain > 0 && (best < 0 || gain > bestGain) {
-			best, bestGain = idx, gain
+			best, bestGain, bestNext, bestEst = idx, gain, pv.Next, pv.Est
 		}
 	}
 	if best < 0 {
@@ -116,10 +139,23 @@ func (c *Cluster) stealInto(thief int) bool {
 		return false
 	}
 	c.submitted[victim][q.devIdx] = -1
+	o := &c.outcomes[q.idx]
+	if bestNext > 0 {
+		c.preemptRemainder(q, victim, thief, bestNext, bestEst, bestGain)
+		return c.runErr == nil
+	}
 	// The withdrawn job's staged transfer never ran on the victim's
-	// link; un-charge it from the per-device staging metric (route()
-	// below re-charges against the thief).
-	c.telStaged[victim] -= c.outcomes[q.idx].StagedBytes
+	// link; un-charge what this commitment added from the per-device
+	// staging metric and the outcome (route() below re-charges against
+	// the thief; for a never-migrated job this zeroes the fields route
+	// resets anyway, for a re-stolen remainder it keeps the earlier
+	// devices' real charges).
+	c.telStaged[victim] -= q.stagedBytes
+	o.StagedBytes -= q.stagedBytes
+	o.StagingEst -= q.stagingEst
+	o.HitBytes -= q.hitBytes
+	o.MissBytes -= q.missBytes
+	o.Staged = o.StagedBytes > 0
 	if c.resident != nil {
 		// The withdrawn job's staged transfer never ran: roll back the
 		// tiles its commitment installed on the victim (tiles a later
@@ -127,7 +163,6 @@ func (c *Cluster) stealInto(thief int) bool {
 		// them). route() below re-commits against the thief.
 		c.resident.Rollback(q.rcpt)
 	}
-	o := &c.outcomes[q.idx]
 	o.Stolen = true
 	o.StolenFrom = q.dev
 	c.steals++
@@ -138,6 +173,52 @@ func (c *Cluster) stealInto(thief int) bool {
 	}
 	c.route(q, thief)
 	return c.runErr == nil
+}
+
+// preemptRemainder migrates a partially-run job's undispatched
+// remainder from victim to thief — the mid-job steal (DESIGN.md §13).
+// The remainder was already withdrawn from the victim's pending queue;
+// pvNext is its first undispatched task index in the victim's
+// *submitted* task list (which leads with a stage task when the last
+// commitment staged), remEst the sched-re-estimated remaining service.
+// Unlike a pre-dispatch steal nothing is un-charged: the victim's
+// staged transfer really ran, so its link traffic and the consumed
+// tiles stay; only the remainder's still-needed tiles roll back,
+// region-scoped, and route() re-prices exactly those against the
+// thief.
+func (c *Cluster) preemptRemainder(q *Queued, victim, thief, pvNext int, remEst, gain sim.Duration) {
+	now := c.ctx.Now()
+	o := &c.outcomes[q.idx]
+	origNext := q.next + pvNext
+	if q.staged {
+		origNext-- // the stage task held slot 0 of the submitted list
+	}
+	reads, demand := remainderNeeds(q.Job, origNext)
+	if c.resident != nil {
+		c.resident.RollbackRegions(q.rcpt, reads)
+	}
+	// Capture the victim's realized lifecycle before the slot goes
+	// stale: the job's dispatch instant is its first slice's, wherever
+	// that ran, and its slice count spans every device.
+	vo := c.scheds[victim].Outcomes()[q.devIdx]
+	if o.Slices == 0 {
+		o.Start = vo.Start
+	}
+	o.Slices += vo.Slices
+	o.Stolen = true
+	o.StolenFrom = victim
+	o.Migrations = append(o.Migrations, Migration{From: victim, To: thief, At: now, NextTask: origNext})
+	q.next = origNext
+	q.reads = reads
+	q.demand = demand
+	q.Est = remEst
+	c.preempts++
+	if c.tel.Enabled() {
+		c.tel.Emit(telemetry.Event{At: now, Kind: telemetry.Preempt,
+			Job: q.idx, ID: q.Job.ID, Tenant: tenantOf(q.Job),
+			Device: thief, From: victim, Stream: -1, Dur: gain})
+	}
+	c.route(q, thief)
 }
 
 // stealStagingEst prices the staging a steal would re-charge, through
@@ -156,8 +237,33 @@ func (c *Cluster) stealStagingEst(q *Queued, dev int) sim.Duration {
 		return 0
 	}
 	bytes := q.demand
-	if c.resident != nil && len(job.Reads) > 0 {
-		_, bytes = c.resident.Lookup(dev, job.Reads)
+	if c.resident != nil && len(q.reads) > 0 {
+		_, bytes = c.resident.Lookup(dev, q.reads)
+	}
+	return c.stagingPrice(c.stealModel, bytes)
+}
+
+// stealRemainderStagingEst prices the staging a mid-job migration
+// would charge: the residual demand of only the tiles the remainder's
+// remaining tasks still need, looked up read-only against the thief.
+// pvNext indexes the victim's submitted task list (stage task
+// included when the commitment staged).
+func (c *Cluster) stealRemainderStagingEst(q *Queued, pvNext, thief int) sim.Duration {
+	job := q.Job
+	if job.Origin < 0 || job.Origin == thief {
+		return 0
+	}
+	origNext := q.next + pvNext
+	if q.staged {
+		origNext--
+	}
+	reads, demand := remainderNeeds(job, origNext)
+	if demand <= 0 {
+		return 0
+	}
+	bytes := demand
+	if c.resident != nil && len(reads) > 0 {
+		_, bytes = c.resident.Lookup(thief, reads)
 	}
 	return c.stagingPrice(c.stealModel, bytes)
 }

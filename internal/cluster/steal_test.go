@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"micstream/internal/schedtest"
 	"micstream/internal/sim"
 )
 
@@ -205,7 +206,7 @@ func TestStealingWorkConserving(t *testing.T) {
 		cfg := imbalanced(seed)
 		cfg.Jobs = 64
 		r := stealCluster(t, cfg)
-		assertClusterWorkConserving(t, "predicted+steal", r, 8)
+		schedtest.WorkConserving(t, "predicted+steal", clusterSpans(r), []int{0, 1, 2, 3, 4, 5, 6, 7})
 	}
 }
 

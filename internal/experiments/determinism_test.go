@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"micstream/internal/cluster"
+)
+
+// TestExperimentsDeterministicAcrossRepeats is the determinism
+// regression suite: every registered experiment runs twice and the
+// full tables must be byte-for-byte identical — any hidden map
+// iteration, wall-clock read or shared-state leak in a generator
+// shows up here (and, under CI's -race run, as a race). Table-level
+// equality alone can mask compensating divergence inside a run, so
+// TestStudyCellResultsDeterministic additionally diffs complete
+// Result structs for one cell of each study.
+func TestExperimentsDeterministicAcrossRepeats(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		g, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q vanished from the registry", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			first, err := g()
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := g()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("experiment %q diverges across repeats", id)
+			}
+		})
+	}
+}
+
+// TestStudyCellResultsDeterministic repeats one representative cell of
+// each named study and diffs the complete Result struct — per-job
+// outcomes, migration histories, device aggregates, tenant stats —
+// not the formatted summary rows.
+func TestStudyCellResultsDeterministic(t *testing.T) {
+	cells := []struct {
+		name string
+		run  func(seed uint64) (any, error)
+	}{
+		{"fairness", func(seed uint64) (any, error) {
+			return runSchedScenario("adaptive", "severe", seed)
+		}},
+		{"placement", func(seed uint64) (any, error) {
+			return runPlacementCell("predicted", 2, seed)
+		}},
+		{"stealing", func(seed uint64) (any, error) {
+			return runStealingCell(2, seed, cluster.Predicted(), true)
+		}},
+		{"residency", func(seed uint64) (any, error) {
+			return runResidencyCell(cluster.Affinity(), true, seed)
+		}},
+		{"slicing", func(seed uint64) (any, error) {
+			return runConvoyCell(seed, convoySliceCap)
+		}},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			first, err := c.run(clusterSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := c.run(clusterSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("%s cell diverges across repeats of seed %d", c.name, clusterSeed)
+			}
+			other, err := c.run(clusterSeed + 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reflect.DeepEqual(first, other) {
+				t.Errorf("%s cell is seed-blind: seeds %d and %d coincide", c.name, clusterSeed, clusterSeed+1)
+			}
+		})
+	}
+}

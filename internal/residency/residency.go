@@ -307,6 +307,42 @@ func (t *Tracker) Rollback(rcpt Receipt) {
 	}
 }
 
+// RollbackRegions is the partial, region-scoped form of Rollback the
+// cluster's mid-job migration uses (DESIGN.md §13): when a partially-
+// run job's undispatched remainder leaves a device, only the tiles the
+// remainder still needed leave with it — the receipt's other installs
+// (tiles the completed slices already consumed) stay resident, because
+// their transfer really ran and later jobs may hit them. The same
+// recency guard as Rollback applies: tiles a later commit touched
+// since stay. Returns the removed volume.
+func (t *Tracker) RollbackRegions(rcpt Receipt, regions []Region) int64 {
+	if len(rcpt.installed) == 0 || len(regions) == 0 {
+		return 0
+	}
+	want := make(map[tileKey]struct{})
+	for _, r := range regions {
+		for tile := r.First; tile < r.First+r.Tiles; tile++ {
+			want[tileKey{dataset: r.Dataset, tile: tile}] = struct{}{}
+		}
+	}
+	dc := t.cache(rcpt.dev)
+	var removed int64
+	for _, k := range rcpt.installed {
+		if _, scoped := want[k]; !scoped {
+			continue
+		}
+		e, ok := dc.entries[k]
+		if !ok || e.used != rcpt.tick {
+			continue
+		}
+		delete(dc.entries, k)
+		dc.used -= e.bytes
+		t.stats.RolledBackBytes += e.bytes
+		removed += e.bytes
+	}
+	return removed
+}
+
 // Invalidate applies a job's write set at its completion instant (the
 // drain instant): every other device's copy of the written tiles is
 // dropped — it now holds stale data. When resident is true (the

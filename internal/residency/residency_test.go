@@ -284,6 +284,42 @@ func TestRollbackRemovesOnlyUntouchedInstalls(t *testing.T) {
 	tr.Rollback(Receipt{})
 }
 
+// TestRollbackRegionsScopesToRemainder mirrors the mid-job migration
+// path (DESIGN.md §13): the victim keeps the tiles the completed
+// slices consumed — their transfer really ran — and only the migrated
+// remainder's still-needed tiles roll back.
+func TestRollbackRegionsScopesToRemainder(t *testing.T) {
+	tr := newTracker(t, 2, 0)
+	_, _, rcpt := tr.Commit(0, []Region{reg("panel", 0, 8, 1<<10)})
+	// The job migrates after consuming tiles 0..3; tiles 4..7 back the
+	// remainder and leave with it.
+	removed := tr.RollbackRegions(rcpt, []Region{reg("panel", 4, 4, 1<<10)})
+	if removed != 4<<10 {
+		t.Fatalf("RollbackRegions removed %d bytes, want %d", removed, 4<<10)
+	}
+	hit, miss := tr.Lookup(0, []Region{reg("panel", 0, 8, 1<<10)})
+	if hit != 4<<10 || miss != 4<<10 {
+		t.Fatalf("after region rollback: hit=%d miss=%d, want consumed tiles kept, remainder gone", hit, miss)
+	}
+	if tr.Stats().RolledBackBytes != 4<<10 {
+		t.Errorf("RolledBackBytes = %d, want %d", tr.Stats().RolledBackBytes, 4<<10)
+	}
+	// Tiles a later commit refreshed stay even inside the remainder
+	// scope — the same protection plain Rollback gives.
+	_, _, rcpt2 := tr.Commit(1, []Region{reg("panel", 0, 4, 1<<10)})
+	tr.Commit(1, []Region{reg("panel", 0, 2, 1<<10)})
+	if removed := tr.RollbackRegions(rcpt2, []Region{reg("panel", 0, 4, 1<<10)}); removed != 2<<10 {
+		t.Fatalf("refreshed tiles rolled back: removed %d, want %d", removed, 2<<10)
+	}
+	// Empty scope and zero receipt are no-ops.
+	if removed := tr.RollbackRegions(rcpt, nil); removed != 0 {
+		t.Errorf("nil-scope rollback removed %d bytes", removed)
+	}
+	if removed := tr.RollbackRegions(Receipt{}, []Region{reg("panel", 0, 1, 1<<10)}); removed != 0 {
+		t.Errorf("zero-receipt rollback removed %d bytes", removed)
+	}
+}
+
 // TestResetColdsTheTracker checks Reset really restores a fresh
 // tracker.
 func TestResetColdsTheTracker(t *testing.T) {

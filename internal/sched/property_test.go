@@ -1,12 +1,28 @@
 package sched
 
 import (
-	"reflect"
-	"sort"
 	"testing"
 
+	"micstream/internal/schedtest"
 	"micstream/internal/sim"
 )
+
+// spans projects a device-scheduler result onto the shared invariant
+// harness: the wait interval is arrival→dispatch, the busy interval is
+// the stream occupancy, and the lifecycle promises arrival ≤ start ≤
+// done.
+func spans(r *Result) []schedtest.Span {
+	out := make([]schedtest.Span, 0, len(r.Jobs))
+	for _, o := range r.Jobs {
+		out = append(out, schedtest.Span{
+			ID: o.ID, Index: o.Index, Stream: o.Stream,
+			Wait:  [2]sim.Time{o.Arrival, o.Start},
+			Busy:  [2]sim.Time{o.Start, o.Done},
+			Marks: []sim.Time{o.Arrival, o.Start, o.Done},
+		})
+	}
+	return out
+}
 
 // runScenario executes one (policy, pattern, arrival, seed) scenario
 // on a fresh 4-partition platform and returns the result.
@@ -34,65 +50,14 @@ func runScenario(t *testing.T, policy, pattern, arrival string, seed uint64) *Re
 
 // TestWorkConserving asserts the core scheduling invariant for every
 // policy: while any job is waiting in the admission queue, no stream
-// is idle. Reconstructed from outcomes: each job's waiting interval
-// [arrival, start) must be fully covered by the busy intervals of
-// every stream.
+// is idle (schedtest.WorkConserving reconstructs the busy timeline
+// from the outcomes).
 func TestWorkConserving(t *testing.T) {
 	for _, policy := range Policies() {
 		for _, pattern := range Patterns() {
 			r := runScenario(t, policy, pattern, "bursty", 11)
-			assertWorkConserving(t, policy+"/"+pattern, r, 4)
+			schedtest.WorkConserving(t, policy+"/"+pattern, spans(r), []int{0, 1, 2, 3})
 		}
-	}
-}
-
-// assertWorkConserving checks that every job's waiting interval is
-// covered by busy time on all streams.
-func assertWorkConserving(t *testing.T, label string, r *Result, streams int) {
-	t.Helper()
-	type iv struct{ start, end sim.Time }
-	busy := make([][]iv, streams)
-	for _, o := range r.Jobs {
-		busy[o.Stream] = append(busy[o.Stream], iv{o.Start, o.Done})
-	}
-	for s := range busy {
-		sort.Slice(busy[s], func(i, j int) bool { return busy[s][i].start < busy[s][j].start })
-	}
-	// covered reports whether [from, to) is inside the union of a
-	// stream's busy intervals. Jobs on one stream never overlap, so
-	// the sorted intervals only need a linear sweep.
-	covered := func(s int, from, to sim.Time) bool {
-		at := from
-		for _, i := range busy[s] {
-			if i.start > at {
-				return false
-			}
-			if i.end > at {
-				at = i.end
-			}
-			if at >= to {
-				return true
-			}
-		}
-		return at >= to
-	}
-	violations := 0
-	for _, o := range r.Jobs {
-		if o.Wait() <= 0 {
-			continue
-		}
-		for s := 0; s < streams; s++ {
-			if !covered(s, o.Arrival, o.Start) {
-				violations++
-				if violations <= 3 {
-					t.Errorf("%s: job %d waited [%v,%v) while stream %d was idle",
-						label, o.ID, o.Arrival, o.Start, s)
-				}
-			}
-		}
-	}
-	if violations > 3 {
-		t.Errorf("%s: %d further work-conservation violations suppressed", label, violations-3)
 	}
 }
 
@@ -102,21 +67,7 @@ func assertWorkConserving(t *testing.T, label string, r *Result, streams int) {
 func TestFIFONoOvertaking(t *testing.T) {
 	for _, pattern := range Patterns() {
 		r := runScenario(t, "fifo", pattern, "heavytail", 5)
-		jobs := append([]JobOutcome(nil), r.Jobs...)
-		// Admission order: arrival time, ties by submission order.
-		sort.SliceStable(jobs, func(i, j int) bool {
-			if jobs[i].Arrival != jobs[j].Arrival {
-				return jobs[i].Arrival < jobs[j].Arrival
-			}
-			return jobs[i].Index < jobs[j].Index
-		})
-		for i := 1; i < len(jobs); i++ {
-			if jobs[i].Start < jobs[i-1].Start {
-				t.Fatalf("%s: FIFO overtaking: job %d (arrived %v) started %v before job %d (arrived %v) started %v",
-					pattern, jobs[i].ID, jobs[i].Arrival, jobs[i].Start,
-					jobs[i-1].ID, jobs[i-1].Arrival, jobs[i-1].Start)
-			}
-		}
+		schedtest.NoOvertaking(t, pattern, spans(r))
 	}
 }
 
@@ -126,21 +77,7 @@ func TestFIFONoOvertaking(t *testing.T) {
 // one stream).
 func TestFIFOBoundedWait(t *testing.T) {
 	r := runScenario(t, "fifo", "severe", "bursty", 23)
-	jobs := append([]JobOutcome(nil), r.Jobs...)
-	sort.SliceStable(jobs, func(i, j int) bool {
-		if jobs[i].Arrival != jobs[j].Arrival {
-			return jobs[i].Arrival < jobs[j].Arrival
-		}
-		return jobs[i].Index < jobs[j].Index
-	})
-	var backlog sim.Duration
-	for _, o := range jobs {
-		if o.Wait() > backlog {
-			t.Fatalf("job %d waited %v, more than the %v of service admitted before it",
-				o.ID, o.Wait(), backlog)
-		}
-		backlog += o.Service()
-	}
+	schedtest.BoundedWait(t, "fifo/severe", spans(r))
 }
 
 // TestBitIdenticalRepeats asserts the determinism contract: the same
@@ -149,15 +86,10 @@ func TestFIFOBoundedWait(t *testing.T) {
 func TestBitIdenticalRepeats(t *testing.T) {
 	for _, policy := range Policies() {
 		for _, arrival := range []string{"poisson", "bursty", "heavytail"} {
-			a := runScenario(t, policy, "moderate", arrival, 99)
-			b := runScenario(t, policy, "moderate", arrival, 99)
-			if !reflect.DeepEqual(a, b) {
-				t.Fatalf("%s/%s: repeated runs differ", policy, arrival)
-			}
-			c := runScenario(t, policy, "moderate", arrival, 100)
-			if reflect.DeepEqual(a, c) {
-				t.Fatalf("%s/%s: different seeds produced identical schedules", policy, arrival)
-			}
+			policy, arrival := policy, arrival
+			schedtest.BitIdentical(t, policy+"/"+arrival, func(seed uint64) any {
+				return runScenario(t, policy, "moderate", arrival, seed)
+			}, 99, 100)
 		}
 	}
 }
@@ -168,19 +100,6 @@ func TestBitIdenticalRepeats(t *testing.T) {
 func TestEveryJobRunsExactlyOnce(t *testing.T) {
 	for _, policy := range Policies() {
 		r := runScenario(t, policy, "severe", "poisson", 42)
-		seen := map[int]bool{}
-		for _, o := range r.Jobs {
-			if seen[o.Index] {
-				t.Fatalf("%s: job index %d appears twice", policy, o.Index)
-			}
-			seen[o.Index] = true
-			if o.Done < o.Start || o.Start < o.Arrival {
-				t.Fatalf("%s: job %d has inverted lifecycle %v/%v/%v",
-					policy, o.ID, o.Arrival, o.Start, o.Done)
-			}
-		}
-		if len(seen) != 135 {
-			t.Fatalf("%s: %d unique jobs completed, want 135", policy, len(seen))
-		}
+		schedtest.UniqueCompletion(t, policy, spans(r), 135, nil)
 	}
 }

@@ -71,11 +71,17 @@ type Job struct {
 type Pending struct {
 	// Job is the queued job.
 	Job *Job
-	// Est is the service-time estimate (declared or derived).
+	// Est is the service-time estimate (declared or derived). For a
+	// partially-dispatched job under WithSlicing it covers only the
+	// remaining tasks — completed slices no longer count as backlog.
 	Est sim.Duration
 	// Seq is the admission sequence number; FIFO order is ascending
 	// Seq.
 	Seq int
+	// Next is the index of the first not-yet-dispatched task: 0 for a
+	// job that never started, positive for the remainder of a
+	// partially-dispatched job re-queued between slices (WithSlicing).
+	Next int
 
 	// idx is the job's outcome slot (its position in the Run slice).
 	idx int
@@ -133,6 +139,23 @@ func WithTelemetry(rec *telemetry.Recorder) Option {
 	return func(s *Scheduler) { s.tel = rec }
 }
 
+// WithSlicing caps how many tasks a single stream grant dispatches
+// (default 0 = off: a job pins whole, the pre-slicing behavior). With
+// a positive cap the scheduler dispatches a *slice* — a prefix of the
+// job's remaining task list, which is dependency-closed because task
+// lists are dependency-ordered (core.EnqueuePhase's contract) — and at
+// the slice's completion re-queues the remainder behind the policy, so
+// dispatch decisions happen at task granularity: light jobs overtake a
+// heavy job between its slices, and the adaptive policy re-plans
+// tenant shares at every slice boundary. Slice boundaries are ordinary
+// drain instants, so determinism is unchanged; a re-queued remainder
+// keeps its admission sequence and outcome slot. Dependencies crossing
+// a slice boundary are satisfied temporally — slices of one job
+// serialize — and are stripped from the enqueued copy.
+func WithSlicing(maxTasksPerSlice int) Option {
+	return func(s *Scheduler) { s.sliceMax = maxTasksPerSlice }
+}
+
 // WithStreams restricts the scheduler to a subset of the context's
 // streams, identified by their context-wide ids (default: all). The
 // cluster layer uses one scheduler per device, each owning that
@@ -159,6 +182,10 @@ type Scheduler struct {
 	// admissions, so the scheduler emits only dispatch/complete/fail.
 	tel    *telemetry.Recorder
 	telDev int
+
+	// sliceMax caps the tasks per stream grant (0 = whole-job
+	// dispatch).
+	sliceMax int
 
 	// streams lists the context-wide ids of the owned streams; all
 	// other per-stream state is indexed by position in this slice
@@ -264,6 +291,32 @@ func validateJob(j *Job) error {
 	return nil
 }
 
+// Sliceable checks the dependency-ordering invariant slicing cuts at:
+// every DependsOn target must be an earlier task in the list, so any
+// prefix of the remaining list is dependency-closed. EnqueuePhase
+// enforces the same order at dispatch; layers that slice — a
+// WithSlicing scheduler, the cluster's mid-job migration — check it at
+// admission, before a half-dispatched job can strand.
+func Sliceable(tasks []*core.Task) error {
+	seen := make(map[int]bool, len(tasks))
+	for _, t := range tasks {
+		for _, d := range t.DependsOn {
+			if !seen[d] {
+				return fmt.Errorf("task %d depends on %d which is not an earlier task; slicing needs dependency-ordered task lists", t.ID, d)
+			}
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+func validateSliceable(j *Job) error {
+	if err := Sliceable(j.Tasks); err != nil {
+		return fmt.Errorf("sched: job %d (tenant %q): %w", j.ID, j.Tenant, err)
+	}
+	return nil
+}
+
 // Reset clears the scheduler's per-run state and re-binds the policy,
 // preparing for a fresh sequence of Submit calls. Run calls it
 // implicitly; embedding layers call it once per composed run.
@@ -295,6 +348,11 @@ func (s *Scheduler) Submit(job *Job) (int, error) {
 	if err := validateJob(job); err != nil {
 		return -1, err
 	}
+	if s.sliceMax > 0 {
+		if err := validateSliceable(job); err != nil {
+			return -1, err
+		}
+	}
 	if s.runErr != nil {
 		return -1, s.runErr
 	}
@@ -312,6 +370,11 @@ type PendingView struct {
 	Index int
 	Est   sim.Duration
 	Seq   int
+	// Next is the first not-yet-dispatched task index: 0 for a job
+	// that never started, positive for the re-queued remainder of a
+	// partially-dispatched job (WithSlicing) — the mid-job steal
+	// candidates the cluster layer migrates at task granularity.
+	Next int
 }
 
 // PendingJobs snapshots the admission queue in admission order — the
@@ -320,18 +383,21 @@ type PendingView struct {
 func (s *Scheduler) PendingJobs() []PendingView {
 	out := make([]PendingView, len(s.pending))
 	for i, p := range s.pending {
-		out[i] = PendingView{Index: p.idx, Est: p.Est, Seq: p.Seq}
+		out[i] = PendingView{Index: p.idx, Est: p.Est, Seq: p.Seq, Next: p.Next}
 	}
 	return out
 }
 
-// Withdraw removes the admitted-but-undispatched job with the given
-// outcome index from the queue and returns the submitted job. It
-// reports false when the index is unknown or the job has already
-// dispatched — a withdrawn job must still be queued. The outcome slot
-// remains allocated but permanently unrun; the cluster layer withdraws
-// committed jobs at drain instants to re-bind them elsewhere
-// (DESIGN.md §10).
+// Withdraw removes the queued job with the given outcome index from
+// the admission queue and returns the submitted job. It reports false
+// when the index is unknown or the job is not currently queued — a
+// withdrawn job must be in the queue, either never dispatched or (with
+// WithSlicing) a remainder re-queued between slices; a job with a
+// slice in flight is never in the queue and therefore never
+// withdrawable mid-slice. The outcome slot remains allocated but
+// permanently unrun; the cluster layer withdraws committed jobs and
+// mid-job remainders at drain instants to re-bind them elsewhere
+// (DESIGN.md §10, §13).
 func (s *Scheduler) Withdraw(idx int) (*Job, bool) {
 	for i, p := range s.pending {
 		if p.idx == idx {
@@ -382,7 +448,10 @@ func (s *Scheduler) InFlight() int {
 
 // PendingBacklog sums the service estimates of the queued jobs — the
 // time-denominated load signal the cluster's predicted placement uses,
-// where queue depth alone is blind to job sizes.
+// where queue depth alone is blind to job sizes. A partially-
+// dispatched job counts only its remaining tasks: each slice boundary
+// re-estimates the remainder, so completed work never inflates the
+// backlog a steal decision reads.
 func (s *Scheduler) PendingBacklog() sim.Duration {
 	var total sim.Duration
 	for _, p := range s.pending {
@@ -423,6 +492,11 @@ func (s *Scheduler) Run(jobs []Job) (*Result, error) {
 	for i := range jobs {
 		if err := validateJob(&jobs[i]); err != nil {
 			return nil, err
+		}
+		if s.sliceMax > 0 {
+			if err := validateSliceable(&jobs[i]); err != nil {
+				return nil, err
+			}
 		}
 		if jobs[i].Arrival < 0 {
 			return nil, fmt.Errorf("sched: job %d has negative arrival %v", jobs[i].ID, jobs[i].Arrival)
@@ -551,27 +625,70 @@ func (s *Scheduler) dispatch() {
 	}
 }
 
-// start pins the job's tasks to the chosen stream, enqueues them, and
-// registers the completion hook that frees the stream and re-enters
-// the dispatch loop.
+// start pins the job's next slice to the chosen stream, enqueues it,
+// and registers the completion hook that frees the stream and
+// re-enters the dispatch loop. Without WithSlicing the slice is the
+// whole task list and this is exactly the pre-slicing dispatch; with
+// it, a non-final slice's completion re-queues the remainder behind
+// the policy instead of completing the job.
 func (s *Scheduler) start(p *Pending, stream int) {
 	idx := p.idx
 	global := s.streams[stream]
+	all := p.Job.Tasks
+	end := len(all)
+	if s.sliceMax > 0 && p.Next+s.sliceMax < end {
+		end = p.Next + s.sliceMax
+	}
+	chunk := all[p.Next:end]
+	// A partial slice is accounted at its own estimate; the final (or
+	// only) slice carries whatever remains of the job's estimate, so
+	// the whole-job path is bit-identical to the pre-slicing scheduler.
+	est := p.Est
+	if end < len(all) {
+		est = s.Estimate(chunk)
+	}
+	first := p.Next == 0
 	s.busy[stream] = true
 	s.streamTenant[stream] = tenantOf(p.Job)
-	s.load[stream] += p.Est
-	s.freeAt[stream] = s.ctx.Now().Add(p.Est)
+	s.load[stream] += est
+	s.freeAt[stream] = s.ctx.Now().Add(est)
 	s.outcomes[idx].Stream = global
-	s.outcomes[idx].Start = s.ctx.Now()
+	if first {
+		s.outcomes[idx].Start = s.ctx.Now()
+	}
+	s.outcomes[idx].Slices++
 	if s.tel.Enabled() {
-		s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Dispatch, Job: idx, ID: p.Job.ID,
-			Tenant: tenantOf(p.Job), Device: s.telDev, From: -1, Stream: global, Dur: p.Est})
+		kind := telemetry.Dispatch
+		if !first {
+			kind = telemetry.Slice
+		}
+		s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: kind, Job: idx, ID: p.Job.ID,
+			Tenant: tenantOf(p.Job), Device: s.telDev, From: -1, Stream: global, Dur: est})
 	}
 
-	tasks := make([]*core.Task, len(p.Job.Tasks))
-	for i, t := range p.Job.Tasks {
+	var inChunk map[int]bool
+	if p.Next > 0 {
+		inChunk = make(map[int]bool, len(chunk))
+		for _, t := range chunk {
+			inChunk[t.ID] = true
+		}
+	}
+	tasks := make([]*core.Task, len(chunk))
+	for i, t := range chunk {
 		c := *t
 		c.StreamHint = global
+		// Dependencies on earlier slices are satisfied temporally —
+		// slices of one job serialize — and must not reference tasks
+		// EnqueuePhase has not seen in this call.
+		if inChunk != nil && len(c.DependsOn) > 0 {
+			deps := make([]int, 0, len(c.DependsOn))
+			for _, d := range c.DependsOn {
+				if inChunk[d] {
+					deps = append(deps, d)
+				}
+			}
+			c.DependsOn = deps
+		}
 		tasks[i] = &c
 	}
 	ev, err := core.EnqueuePhase(s.ctx, tasks)
@@ -589,10 +706,24 @@ func (s *Scheduler) start(p *Pending, stream int) {
 		}
 		return
 	}
-	// Every action of the job sits on one FIFO stream, so the last
+	// Every action of the slice sits on one FIFO stream, so the last
 	// task's final event is the last to resolve.
 	final := ev.Done[tasks[len(tasks)-1].ID]
 	final.OnDone(func() {
+		if end < len(all) {
+			// Slice boundary: free the stream, re-estimate the
+			// remainder (remaining tasks only — completed slices must
+			// not inflate PendingBacklog) and re-queue it in admission
+			// order, then let the policy re-plan. The job's outcome
+			// completes only at its final slice.
+			s.busy[stream] = false
+			s.streamTenant[stream] = ""
+			p.Next = end
+			p.Est = s.Estimate(all[end:])
+			s.requeue(p)
+			s.dispatch()
+			return
+		}
 		s.outcomes[idx].Done = s.ctx.Now()
 		s.done++
 		s.busy[stream] = false
@@ -607,6 +738,22 @@ func (s *Scheduler) start(p *Pending, stream int) {
 			s.onDone(s.outcomes[idx])
 		}
 	})
+}
+
+// requeue inserts a re-queued remainder back into the admission queue
+// at its sequence position, preserving the "pending is in admission
+// order" contract policies rely on.
+func (s *Scheduler) requeue(p *Pending) {
+	at := len(s.pending)
+	for i, q := range s.pending {
+		if p.Seq < q.Seq {
+			at = i
+			break
+		}
+	}
+	s.pending = append(s.pending, nil)
+	copy(s.pending[at+1:], s.pending[at:])
+	s.pending[at] = p
 }
 
 // idleStreams lists streams with no job in flight, ascending.
@@ -664,6 +811,10 @@ type JobOutcome struct {
 	Arrival, Start, Done sim.Time
 	// Est is the service estimate the policies saw.
 	Est sim.Duration
+	// Slices counts the stream grants the job took: 1 for a
+	// whole-job dispatch, more under WithSlicing. Zero means the job
+	// never reached a stream.
+	Slices int
 	// Failed marks a job the run admitted but could never finish
 	// because a dispatch error aborted scheduling; its Start/Done
 	// fields are meaningless. Failed jobs appear in Result.Jobs so no

@@ -1,0 +1,205 @@
+// Package schedtest factors the scheduling invariants the sched and
+// cluster property suites both assert — work conservation, bit-identical
+// repeats, unique completion, admission-order fairness — into one shared
+// harness (DESIGN.md §6, §9).
+//
+// The helpers are deliberately representation-agnostic: both layers
+// project their outcome types onto Span, a flat record of one job's
+// realized lifecycle, so the same checker verifies a single-device
+// sched.Result and a multi-device cluster.Result. The package imports
+// neither scheduler (they import it from their tests), only the sim
+// clock types.
+package schedtest
+
+import (
+	"reflect"
+	"sort"
+
+	"micstream/internal/sim"
+)
+
+// T is the slice of testing.TB the checkers need. Taking an interface
+// instead of *testing.T lets the harness negative-test its own
+// checkers with a recording fake.
+type T interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Span is one job's realized lifecycle as the invariants see it.
+//
+// Wait[0:2] is the interval during which the job was held back by the
+// scheduler under test — arrival→dispatch for a device scheduler,
+// arrival→placement for the cluster — and Busy[0:2] the interval the
+// job occupied Stream. Marks lists the lifecycle instants in the order
+// the layer promises them (e.g. arrival ≤ placed ≤ start ≤ done);
+// MarkNames labels them for failure messages.
+type Span struct {
+	// ID is the job's user-visible label, Index its submission slot.
+	ID, Index int
+	// Stream is the context-wide stream the job occupied.
+	Stream int
+	// Wait is the scheduler-attributable delay interval [from, to).
+	Wait [2]sim.Time
+	// Busy is the stream occupancy interval [start, end).
+	Busy [2]sim.Time
+	// Marks are the lifecycle instants, in promised order.
+	Marks []sim.Time
+}
+
+// MarkNames labels Span.Marks positions in failure messages. Suites
+// with richer lifecycles (the cluster adds a placement instant) pass
+// their own; nil falls back to positional labels.
+var MarkNames = []string{"arrival", "start", "done"}
+
+// WorkConserving asserts the core scheduling invariant: while any job
+// is inside its Wait interval, no stream in streams is idle. The busy
+// timeline is reconstructed from the spans themselves — each stream's
+// occupancy is the union of its jobs' Busy intervals — so the check
+// needs no scheduler internals.
+func WorkConserving(t T, label string, spans []Span, streams []int) {
+	t.Helper()
+	type iv struct{ start, end sim.Time }
+	busy := make(map[int][]iv, len(streams))
+	for _, s := range streams {
+		busy[s] = nil
+	}
+	for _, sp := range spans {
+		busy[sp.Stream] = append(busy[sp.Stream], iv{sp.Busy[0], sp.Busy[1]})
+	}
+	for s := range busy {
+		sort.Slice(busy[s], func(i, j int) bool { return busy[s][i].start < busy[s][j].start })
+	}
+	// covered reports whether [from, to) is inside the union of a
+	// stream's busy intervals. Sliced jobs can contribute overlapping
+	// per-device intervals, so the sweep merges as it goes.
+	covered := func(s int, from, to sim.Time) bool {
+		at := from
+		for _, i := range busy[s] {
+			if i.start > at {
+				return false
+			}
+			if i.end > at {
+				at = i.end
+			}
+			if at >= to {
+				return true
+			}
+		}
+		return at >= to
+	}
+	violations := 0
+	for _, sp := range spans {
+		if sp.Wait[1] <= sp.Wait[0] {
+			continue
+		}
+		for _, s := range streams {
+			if !covered(s, sp.Wait[0], sp.Wait[1]) {
+				violations++
+				if violations <= 3 {
+					t.Errorf("%s: job %d waited [%v,%v) while stream %d was idle",
+						label, sp.ID, sp.Wait[0], sp.Wait[1], s)
+				}
+			}
+		}
+	}
+	if violations > 3 {
+		t.Errorf("%s: %d further work-conservation violations suppressed", label, violations-3)
+	}
+}
+
+// UniqueCompletion asserts completeness: exactly want jobs completed,
+// each submission Index exactly once, and every span's lifecycle marks
+// are non-decreasing in their promised order.
+func UniqueCompletion(t T, label string, spans []Span, want int, markNames []string) {
+	t.Helper()
+	if markNames == nil {
+		markNames = MarkNames
+	}
+	name := func(i int) string {
+		if i < len(markNames) {
+			return markNames[i]
+		}
+		return "mark"
+	}
+	seen := make(map[int]bool, len(spans))
+	for _, sp := range spans {
+		if seen[sp.Index] {
+			t.Fatalf("%s: job index %d appears twice", label, sp.Index)
+		}
+		seen[sp.Index] = true
+		for i := 1; i < len(sp.Marks); i++ {
+			if sp.Marks[i] < sp.Marks[i-1] {
+				t.Fatalf("%s: job %d has inverted lifecycle: %s %v before %s %v",
+					label, sp.ID, name(i), sp.Marks[i], name(i-1), sp.Marks[i-1])
+			}
+		}
+	}
+	if len(seen) != want {
+		t.Fatalf("%s: %d unique jobs completed, want %d", label, len(seen), want)
+	}
+}
+
+// admissionOrder sorts spans by arrival (Marks[0]), ties by submission
+// Index — the order FIFO admission promises to serve.
+func admissionOrder(spans []Span) []Span {
+	jobs := append([]Span(nil), spans...)
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].Marks[0] != jobs[j].Marks[0] {
+			return jobs[i].Marks[0] < jobs[j].Marks[0]
+		}
+		return jobs[i].Index < jobs[j].Index
+	})
+	return jobs
+}
+
+// NoOvertaking asserts FIFO's starvation-freedom: dispatch order
+// (Busy[0]) equals admission order, so every job's wait is bounded by
+// the service of the finite set of jobs ahead of it.
+func NoOvertaking(t T, label string, spans []Span) {
+	t.Helper()
+	jobs := admissionOrder(spans)
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Busy[0] < jobs[i-1].Busy[0] {
+			t.Fatalf("%s: FIFO overtaking: job %d (arrived %v) started %v before job %d (arrived %v) started %v",
+				label, jobs[i].ID, jobs[i].Marks[0], jobs[i].Busy[0],
+				jobs[i-1].ID, jobs[i-1].Marks[0], jobs[i-1].Busy[0])
+		}
+	}
+}
+
+// BoundedWait asserts a concrete starvation bound for FIFO admission:
+// a job's wait never exceeds the summed service of all jobs admitted
+// before it (the worst case drains the entire backlog through one
+// stream).
+func BoundedWait(t T, label string, spans []Span) {
+	t.Helper()
+	var backlog sim.Duration
+	for _, sp := range admissionOrder(spans) {
+		if wait := sp.Wait[1].Sub(sp.Wait[0]); wait > backlog {
+			t.Fatalf("%s: job %d waited %v, more than the %v of service admitted before it",
+				label, sp.ID, wait, backlog)
+		}
+		backlog += sp.Busy[1].Sub(sp.Busy[0])
+	}
+}
+
+// BitIdentical asserts the determinism contract (DESIGN.md §6): run
+// must be a pure function of its seed. Two runs at seed produce deeply
+// equal results; a run at otherSeed produces a different one (guarding
+// against a checker that trivially passes because run ignores its
+// seed). run typically returns a full *Result so every per-job
+// timestamp participates in the comparison.
+func BitIdentical(t T, label string, run func(seed uint64) any, seed, otherSeed uint64) {
+	t.Helper()
+	a := run(seed)
+	b := run(seed)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: repeated runs with seed %d differ", label, seed)
+	}
+	c := run(otherSeed)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("%s: seeds %d and %d produced identical schedules", label, seed, otherSeed)
+	}
+}

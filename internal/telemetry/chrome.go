@@ -151,6 +151,11 @@ func (cw *chromeWriter) decision(e Event, tracks map[string]int) {
 		cw.instant("invalidate", "p", e.Device+1, fmt.Sprintf(`"writer":%d,"bytes":%d`, e.From, e.Bytes), e)
 	case Drain:
 		cw.instant("drain", "p", e.Device+1, fmt.Sprintf(`"job":%d`, e.Job), e)
+	case Slice:
+		cw.instant("slice", "p", e.Device+1, fmt.Sprintf(`"job":%d,"stream":%d,"est_us":%s`, e.Job, e.Stream, usOf(int64(e.Dur))), e)
+	case Preempt:
+		cw.instant("preempt", "g", maxInt(e.Device+1, 0),
+			fmt.Sprintf(`"job":%d,"thief":%d,"victim":%d,"gain_us":%s`, e.Job, e.Device, e.From, usOf(int64(e.Dur))), e)
 	}
 }
 

@@ -35,7 +35,10 @@ type Kind uint8
 // re-binding; Hit/Stage split an off-origin job's staging demand at
 // commitment; Evict/Invalidate are residency-cache drops; Drain marks
 // a device's job-completion instant, the decision point the cluster
-// re-enters placement and stealing from.
+// re-enters placement and stealing from; Slice marks a follow-up
+// slice of a partially-dispatched job being granted a stream (the
+// first slice logs Dispatch); Preempt is a mid-job steal — the
+// undispatched remainder of a dispatched job migrating to a thief.
 const (
 	Admit Kind = iota
 	Place
@@ -48,11 +51,14 @@ const (
 	Evict
 	Invalidate
 	Drain
+	Slice
+	Preempt
 )
 
 var kindNames = [...]string{
 	"admit", "place", "dispatch", "complete", "fail",
 	"steal", "hit", "stage", "evict", "invalidate", "drain",
+	"slice", "preempt",
 }
 
 // String returns the short event-kind label used in exports.

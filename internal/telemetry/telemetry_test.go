@@ -7,7 +7,7 @@ import (
 )
 
 func TestKindString(t *testing.T) {
-	for k := Admit; k <= Drain; k++ {
+	for k := Admit; k <= Preempt; k++ {
 		if k.String() == "unknown" || k.String() == "" {
 			t.Errorf("kind %d has no label", k)
 		}
@@ -74,6 +74,8 @@ func TestDisabledEmissionAllocatesNothing(t *testing.T) {
 			t.Fatal("unreachable")
 		}
 		r.Emit(Event{At: 5, Kind: Dispatch, Job: 1, ID: 2, Device: 0, Stream: 3, Dur: sim.Duration(100)})
+		r.Emit(Event{At: 6, Kind: Slice, Job: 1, ID: 2, Device: 0, Stream: 3, Dur: sim.Duration(50)})
+		r.Emit(Event{At: 7, Kind: Preempt, Job: 1, ID: 2, Device: 1, From: 0, Dur: sim.Duration(25)})
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled emission allocates %.1f times per call, want 0", allocs)

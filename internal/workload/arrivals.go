@@ -226,6 +226,13 @@ func Names() []string {
 // the same offered load under different burstiness shapes (asserted
 // within 5% by TestArrivalsRateMatched).
 func Arrivals(kind string, seed uint64, n int, meanGapNs float64) ([]int64, error) {
+	// The per-process validators reject non-positive gaps, but NaN and
+	// +Inf slip through a `<= 0` test and would break the documented
+	// non-negative, non-decreasing output contract (int64(NaN) is
+	// negative on amd64).
+	if !(meanGapNs > 0) || math.IsInf(meanGapNs, 1) {
+		return nil, fmt.Errorf("workload: mean gap must be positive and finite, got %g", meanGapNs)
+	}
 	switch kind {
 	case "poisson":
 		return PoissonArrivals(seed, n, meanGapNs)

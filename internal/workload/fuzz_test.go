@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzArrivals fuzzes the arrival-process dispatcher over every kind
+// name (valid or not), seed, count and gap — including the NaN/Inf
+// gaps a `<= 0` validator would wave through. The invariants are the
+// package contract: no panic, and on success exactly n non-negative,
+// non-decreasing offsets; on rejection a nil slice.
+func FuzzArrivals(f *testing.F) {
+	for i, kind := range Names() {
+		f.Add(kind, uint64(i+1), 64, 1e6)
+	}
+	f.Add("nope", uint64(7), 8, 1e5)
+	f.Add("poisson", uint64(1), -3, 1e6)
+	f.Add("poisson", uint64(1), 8, math.NaN())
+	f.Add("bursty", uint64(2), 8, math.Inf(1))
+	f.Add("heavytail", uint64(3), 8, -1.0)
+	f.Fuzz(func(t *testing.T, kind string, seed uint64, n int, meanGapNs float64) {
+		if n > 1<<12 {
+			n %= 1 << 12 // bound the work, keep negatives reachable
+		}
+		out, err := Arrivals(kind, seed, n, meanGapNs)
+		if err != nil {
+			if out != nil {
+				t.Fatalf("Arrivals(%q, %d, %d, %g) returned both a slice and %v", kind, seed, n, meanGapNs, err)
+			}
+			return
+		}
+		if !(meanGapNs > 0) || math.IsInf(meanGapNs, 1) {
+			t.Fatalf("Arrivals(%q, %d, %d, %g) accepted a non-positive or non-finite gap", kind, seed, n, meanGapNs)
+		}
+		if len(out) != n {
+			t.Fatalf("Arrivals(%q, %d, %d, %g) returned %d offsets", kind, seed, n, meanGapNs, len(out))
+		}
+		prev := int64(0)
+		for i, at := range out {
+			if at < prev {
+				t.Fatalf("Arrivals(%q, %d, %d, %g)[%d] = %d decreases from %d", kind, seed, n, meanGapNs, i, at, prev)
+			}
+			prev = at
+		}
+	})
+}
