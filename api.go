@@ -10,6 +10,7 @@ import (
 	"micstream/internal/experiments"
 	"micstream/internal/hstreams"
 	"micstream/internal/model"
+	"micstream/internal/obs"
 	"micstream/internal/pcie"
 	"micstream/internal/residency"
 	"micstream/internal/sched"
@@ -349,6 +350,94 @@ type (
 	// TenantMetrics is one tenant's slice of a MetricsSnapshot.
 	TenantMetrics = telemetry.TenantMetrics
 )
+
+// Explanation layer, re-exported from the obs package: per-job causal
+// timelines folded from the telemetry event log, the model-drift
+// audit, the live OpenMetrics exporter, and the deterministic flight
+// recorder (DESIGN.md §14).
+type (
+	// JobTimeline is one job's folded causal history: lifecycle
+	// instants plus an exact phase partition of its latency (place
+	// wait, commit wait, exec, slice wait, migration).
+	JobTimeline = obs.Timeline
+	// TimelinePhase is one named slice of a JobTimeline's latency.
+	TimelinePhase = obs.Phase
+	// TimelineBreakdown aggregates phase partitions over a group of
+	// jobs (per tenant, per device) — the "where time goes" row.
+	TimelineBreakdown = obs.PhaseBreakdown
+	// DriftReport is the model-drift audit of an event log: predicted
+	// completion scores and grant estimates compared against realized
+	// outcomes, histogrammed per tenant and regime.
+	DriftReport = obs.DriftReport
+	// DriftSample is one predicted-vs-actual comparison in a
+	// DriftReport.
+	DriftSample = obs.DriftSample
+	// DriftGroup is one sample group's error histogram and summary.
+	DriftGroup = obs.DriftGroup
+	// DriftMeta is the provenance block of a DRIFT_<run>.json
+	// artifact.
+	DriftMeta = obs.DriftMeta
+	// OpenMetricsExporter renders the latest MetricsSnapshot in the
+	// OpenMetrics (Prometheus) text exposition format.
+	OpenMetricsExporter = obs.Exporter
+	// FlightRecorder keeps a bounded ring of recent telemetry events,
+	// dumped on job failure or p95 threshold breach.
+	FlightRecorder = obs.FlightRecorder
+	// FlightDump is one triggered flight-recorder capture.
+	FlightDump = obs.FlightDump
+)
+
+// FoldTimelines reduces an event log to per-job causal timelines in
+// admission order: for every completed job the five attributed phases
+// sum exactly to the observed latency (DESIGN.md §14).
+func FoldTimelines(events []TelemetryEvent) []JobTimeline { return obs.Fold(events) }
+
+// TimelinesByTenant aggregates completed timelines per tenant, sorted
+// by tenant label.
+func TimelinesByTenant(ts []JobTimeline) []TimelineBreakdown { return obs.ByTenant(ts) }
+
+// TimelinesByDevice aggregates completed timelines per final device.
+func TimelinesByDevice(ts []JobTimeline) []TimelineBreakdown { return obs.ByDevice(ts) }
+
+// WriteTimeline renders one job's causal timeline as aligned text
+// (the body of `miccluster -explain`).
+func WriteTimeline(w io.Writer, t *JobTimeline) error { return obs.WriteTimeline(w, t) }
+
+// WriteTimelineBreakdowns renders aggregate "where time goes" rows as
+// an aligned table under a title.
+func WriteTimelineBreakdowns(w io.Writer, title string, rows []TimelineBreakdown) error {
+	return obs.WriteBreakdowns(w, title, rows)
+}
+
+// AuditDrift extracts predicted-vs-actual drift samples from an event
+// log and histograms the errors per tenant and execution regime.
+func AuditDrift(events []TelemetryEvent) *DriftReport { return obs.AuditDrift(events) }
+
+// WriteDriftJSON renders a drift audit as the byte-deterministic
+// DRIFT_<run>.json artifact.
+func WriteDriftJSON(w io.Writer, r *DriftReport, meta DriftMeta) error {
+	return obs.WriteDriftJSON(w, r, meta)
+}
+
+// NewOpenMetricsExporter returns an exporter with no snapshot yet.
+// Wire it to a recorder with Attach (or a composite hook) and expose
+// it with ServeHTTP/ListenAndServe; Render writes the exposition
+// text.
+func NewOpenMetricsExporter() *OpenMetricsExporter { return obs.NewExporter() }
+
+// DefaultFlightCap is the flight recorder's default ring capacity.
+const DefaultFlightCap = obs.DefaultFlightCap
+
+// NewFlightRecorder returns a flight recorder retaining up to cap
+// events (DefaultFlightCap if cap <= 0).
+func NewFlightRecorder(cap int) *FlightRecorder { return obs.NewFlightRecorder(cap) }
+
+// WriteMetricsJSON renders a drain-instant snapshot series as
+// machine-readable, byte-deterministic JSON (the `miccluster
+// -metrics-json` artifact).
+func WriteMetricsJSON(w io.Writer, snaps []MetricsSnapshot) error {
+	return obs.WriteMetricsJSON(w, snaps)
+}
 
 // NewTelemetry returns an empty scheduling-event recorder to hand to
 // WithClusterTelemetry or WithSchedulerTelemetry. The recorder is

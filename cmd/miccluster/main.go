@@ -11,6 +11,9 @@
 //	miccluster -slice=1 -steal=1ns -policy=sjf -spread=16
 //	miccluster -cache=lru -cachecap=67108864 -datasets=4 -place=affinity
 //	miccluster -scaling -devices=4
+//	miccluster -explain=7 -slice=1 -steal=1ns
+//	miccluster -serve=:9100 -metrics-json=metrics.json -drift=DRIFT_run.json
+//	miccluster -flight=flight.txt -flight-p95=5ms
 //	miccluster -list
 //
 // Placement policies: least-loaded (fewest committed jobs),
@@ -35,7 +38,20 @@
 // overwrite their dataset, invalidating cached copies). -compare runs
 // every placement on the same workload side by side; -scaling prints
 // a Fig. 11-style table of 1..devices GFLOPS through the scheduler.
-// Every run is a pure function of its flags.
+//
+// The explanation flags replay the run's telemetry: -explain=<job>
+// prints that job's causal timeline (place-wait, commit-wait, exec,
+// slice-wait, migration — the phases sum exactly to its latency) plus
+// per-tenant and per-device where-time-goes tables; -drift writes the
+// model-drift audit (predicted vs realised completion and slice
+// estimates) as DRIFT JSON; -metrics-json dumps the drain-instant
+// snapshot series machine-readably; -flight writes a flight-recorder
+// report (the last events before each job failure or, with
+// -flight-p95, each tenant's first p95 breach); -serve exposes the
+// final metrics at /metrics in OpenMetrics text format after the run.
+// Observers never perturb the schedule: a run with every explanation
+// flag on is bit-identical to the bare run. Every run is a pure
+// function of its flags.
 package main
 
 import (
@@ -84,6 +100,13 @@ func main() {
 		list       = flag.Bool("list", false, "list placement policies, stream policies, and arrival processes")
 		traceOut   = flag.String("trace", "", "write the run as Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
 		metrics    = flag.Bool("metrics", false, "print the drain-instant metrics snapshots")
+		explain    = flag.Int("explain", -1, "print the causal timeline for this job index plus where-time-goes tables (-1 disables)")
+		serve      = flag.String("serve", "", "after the run, serve the final metrics at this address in OpenMetrics text format (e.g. :9100)")
+		metricsOut = flag.String("metrics-json", "", "write the drain-instant metrics snapshots as JSON to this file")
+		driftOut   = flag.String("drift", "", "write the model-drift audit (predicted vs realised) as DRIFT JSON to this file")
+		flightOut  = flag.String("flight", "", "write a flight-recorder report (events preceding failures / p95 breaches) to this file")
+		flightCap  = flag.Int("flight-cap", micstream.DefaultFlightCap, "flight-recorder ring capacity in events")
+		flightP95  = flag.Duration("flight-p95", 0, "flight-recorder trigger: dump on a tenant's first p95 over this (virtual time); 0 disables")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -154,6 +177,22 @@ func main() {
 	if *traceOut != "" && (*compare || *scaling) {
 		usageError("-trace records one run; drop -compare/-scaling")
 	}
+	explaining := *explain >= 0 || *serve != "" || *metricsOut != "" || *driftOut != "" || *flightOut != ""
+	if explaining && (*compare || *scaling) {
+		usageError("-explain/-serve/-metrics-json/-drift/-flight describe one run; drop -compare/-scaling")
+	}
+	if *explain < -1 || *explain >= *njobs*(*scale) {
+		usageError("-explain: job index %d out of range [0,%d)", *explain, *njobs*(*scale))
+	}
+	if *flightCap < 1 {
+		usageError("-flight-cap must be positive, got %d", *flightCap)
+	}
+	if *flightP95 < 0 {
+		usageError("-flight-p95 must be non-negative, got %v", *flightP95)
+	}
+	if *flightP95 > 0 && *flightOut == "" {
+		usageError("-flight-p95 needs -flight to write the report somewhere")
+	}
 	// Output-path flags fail up front with a usage error: an unwritable
 	// profile or trace path is a command-line mistake, and discovering
 	// it after the run would discard the work.
@@ -163,6 +202,19 @@ func main() {
 			usageError("-trace: %v", err)
 		}
 	}
+	create := func(flagName, path string) *os.File {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			usageError("-%s: %v", flagName, err)
+		}
+		return f
+	}
+	metricsFile := create("metrics-json", *metricsOut)
+	driftFile := create("drift", *driftOut)
+	flightFile := create("flight", *flightOut)
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -215,8 +267,31 @@ func main() {
 		// One recorder per run: with -compare each policy's snapshots
 		// stay separate instead of accumulating into one timeline.
 		var rec *micstream.Telemetry
-		if traceFile != nil || *metrics {
+		if traceFile != nil || *metrics || explaining {
 			rec = micstream.NewTelemetry()
+		}
+		// Live observers ride the recorder's hooks; they are pure
+		// consumers, so the schedule is bit-identical with them on.
+		var exporter *micstream.OpenMetricsExporter
+		var flight *micstream.FlightRecorder
+		if *serve != "" {
+			exporter = micstream.NewOpenMetricsExporter()
+		}
+		if flightFile != nil {
+			flight = micstream.NewFlightRecorder(*flightCap)
+			flight.SetP95Threshold(micstream.Duration((*flightP95).Nanoseconds()))
+			rec.SetOnEvent(flight.OnEvent)
+		}
+		if exporter != nil || flight != nil {
+			exp, fl := exporter, flight
+			rec.SetOnMetrics(func(s micstream.MetricsSnapshot) {
+				if exp != nil {
+					exp.Observe(s)
+				}
+				if fl != nil {
+					fl.OnMetrics(s)
+				}
+			})
 		}
 		r, c := runOnce(name, clusterFlags{
 			devices: *devices, partitions: *partitions, streams: *streams,
@@ -240,8 +315,80 @@ func main() {
 			}
 			fmt.Printf("\ntrace: %d events, %d snapshots → %s\n", rec.Len(), len(c.Metrics()), *traceOut)
 		}
+		if *explain >= 0 {
+			explainJob(rec, *explain)
+		}
+		if metricsFile != nil {
+			writeAndClose(metricsFile, *metricsOut, "metrics", func(f *os.File) error {
+				return micstream.WriteMetricsJSON(f, c.Metrics())
+			})
+		}
+		if driftFile != nil {
+			meta := micstream.DriftMeta{Run: fmt.Sprintf("%s-%s-%d", name, *arrival, *seed),
+				Seed: int64(*seed), Placement: name, TransferScale: 1, ComputeScale: 1}
+			if m := c.PricingModel(); m != nil {
+				meta.TransferScale, meta.ComputeScale = m.Calibration()
+			}
+			writeAndClose(driftFile, *driftOut, "drift audit", func(f *os.File) error {
+				return micstream.WriteDriftJSON(f, micstream.AuditDrift(rec.Events()), meta)
+			})
+		}
+		if flightFile != nil {
+			writeAndClose(flightFile, *flightOut, "flight report", func(f *os.File) error {
+				return flight.WriteText(f)
+			})
+		}
+		if exporter != nil {
+			fmt.Printf("\nserving OpenMetrics at http://%s/metrics (interrupt to stop)\n", *serve)
+			if err := exporter.ListenAndServe(*serve); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	finish()
+}
+
+// writeAndClose renders one explanation artifact and reports where it
+// went; a failed write is fatal, not a usage error — the run already
+// happened.
+func writeAndClose(f *os.File, path, what string, render func(*os.File) error) {
+	if err := render(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%s → %s\n", what, path)
+}
+
+// explainJob folds the run's event log into per-job causal timelines
+// and prints the requested job's phase breakdown — the five phases sum
+// exactly to its latency — followed by the per-tenant and per-device
+// where-time-goes tables.
+func explainJob(rec *micstream.Telemetry, job int) {
+	timelines := micstream.FoldTimelines(rec.Events())
+	var target *micstream.JobTimeline
+	for i := range timelines {
+		if timelines[i].Job == job {
+			target = &timelines[i]
+			break
+		}
+	}
+	if target == nil {
+		fatal(fmt.Errorf("-explain: job index %d not present in the run's event log", job))
+	}
+	fmt.Println()
+	if err := micstream.WriteTimeline(os.Stdout, target); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := micstream.WriteTimelineBreakdowns(os.Stdout, "where time goes, by tenant", micstream.TimelinesByTenant(timelines)); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := micstream.WriteTimelineBreakdowns(os.Stdout, "where time goes, by device", micstream.TimelinesByDevice(timelines)); err != nil {
+		fatal(err)
+	}
 }
 
 type clusterFlags struct {

@@ -8,6 +8,7 @@
 //	micsched -policy=sjf -pattern=severe
 //	micsched -policy=fifo -pattern=balanced -arrival=heavytail -seed=7
 //	micsched -partitions=8 -streams=2 -scale=2 -window=30ms
+//	micsched -explain=7 -policy=adaptive -pattern=severe
 //
 // Policies: fifo (arrival order, pack lowest stream), rr (arrival
 // order, rotate across partitions), sjf (shortest job first,
@@ -41,6 +42,7 @@ func main() {
 		streams    = flag.Int("streams", 2, "streams per partition")
 		window     = flag.Duration("window", 20*time.Millisecond, "arrival window (virtual time)")
 		jobs       = flag.Bool("jobs", false, "also print every job's lifecycle")
+		explain    = flag.Int("explain", -1, "print the causal timeline for this job index plus where-time-goes tables (-1 disables)")
 		list       = flag.Bool("list", false, "list policies and patterns")
 	)
 	flag.Parse()
@@ -92,7 +94,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	s, err := micstream.NewScheduler(p, micstream.WithPolicy(pol))
+	// Telemetry is only recorded when the run will be explained; a
+	// bare run keeps the zero-alloc disabled path.
+	var rec *micstream.Telemetry
+	schedOpts := []micstream.SchedOption{micstream.WithPolicy(pol)}
+	if *explain >= 0 {
+		rec = micstream.NewTelemetry()
+		schedOpts = append(schedOpts, micstream.WithSchedulerTelemetry(rec))
+	}
+	s, err := micstream.NewScheduler(p, schedOpts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -122,6 +132,28 @@ func main() {
 				o.ID, o.Tenant, o.Stream, o.Arrival, o.Start, o.Done, o.Wait(), o.Latency())
 		}
 		tw.Flush()
+	}
+
+	if *explain >= 0 {
+		timelines := micstream.FoldTimelines(rec.Events())
+		var target *micstream.JobTimeline
+		for i := range timelines {
+			if timelines[i].Job == *explain {
+				target = &timelines[i]
+				break
+			}
+		}
+		if target == nil {
+			fatal(fmt.Errorf("-explain: job index %d not present in the run (have %d jobs)", *explain, len(timelines)))
+		}
+		fmt.Println()
+		if err := micstream.WriteTimeline(os.Stdout, target); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if err := micstream.WriteTimelineBreakdowns(os.Stdout, "where time goes, by tenant", micstream.TimelinesByTenant(timelines)); err != nil {
+			fatal(err)
+		}
 	}
 }
 

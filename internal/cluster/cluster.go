@@ -296,6 +296,11 @@ type Cluster struct {
 	telStaged  []int64
 	tenantLat  map[string]*tenantAccum
 	tenantSeen []string
+	// telHit/telMiss accumulate the residency hit/miss byte split this
+	// run for the metrics snapshots, un-charged on steal withdraw like
+	// telStaged.
+	telHit  int64
+	telMiss int64
 }
 
 // tenantAccum is the running per-tenant completion record behind the
@@ -421,6 +426,25 @@ func (c *Cluster) Residency() *residency.Tracker { return c.resident }
 // Telemetry returns the cluster's event recorder, nil when telemetry
 // is disabled.
 func (c *Cluster) Telemetry() *telemetry.Recorder { return c.tel }
+
+// PricingModel returns the analytic model behind the cluster's
+// pricing decisions — the predicted/affinity policy's (possibly
+// Fit-calibrated) model, else the steal model, else nil for a cluster
+// whose policies never price. The drift audit (internal/obs) reads
+// its calibration for the artifact metadata.
+func (c *Cluster) PricingModel() *model.Model {
+	switch p := c.place.(type) {
+	case *predicted:
+		if p.m != nil {
+			return p.m
+		}
+	case *affinity:
+		if p.m != nil {
+			return p.m
+		}
+	}
+	return c.stealModel
+}
 
 // Metrics returns the drain-instant metrics snapshots recorded so far
 // (nil when telemetry is disabled).
@@ -578,6 +602,7 @@ func (c *Cluster) Run(jobs []Job) (*Result, error) {
 	c.linkBusy0 = make([]sim.Duration, len(c.scheds))
 	c.kernBusy0 = make([]sim.Duration, len(c.scheds))
 	c.telStaged = make([]int64, len(c.scheds))
+	c.telHit, c.telMiss = 0, 0
 	for d := range c.scheds {
 		c.linkBusy0[d] = c.ctx.Link(d).TotalBusy()
 		c.kernBusy0[d] = c.kernelBusy(d)
@@ -819,6 +844,7 @@ func (c *Cluster) route(q *Queued, dev int) {
 			hit, miss, q.rcpt = c.resident.Commit(dev, q.reads)
 			q.hitBytes = hit
 			o.HitBytes += hit
+			c.telHit += hit
 			if hit > 0 && c.tel.Enabled() {
 				c.tel.Emit(telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Hit,
 					Job: idx, ID: job.ID, Tenant: tenantOf(job), Device: dev, From: -1, Stream: -1, Bytes: hit})
@@ -826,6 +852,7 @@ func (c *Cluster) route(q *Queued, dev int) {
 		}
 		q.missBytes = miss
 		o.MissBytes += miss
+		c.telMiss += miss
 		if miss > 0 {
 			charged := c.stagingCharge(miss)
 			buf := c.ensureStaging(int(charged))
@@ -860,7 +887,7 @@ func (c *Cluster) route(q *Queued, dev int) {
 		}
 	}
 
-	sjob := sched.Job{ID: job.ID, Tenant: job.Tenant, Tasks: tasks, Est: est}
+	sjob := sched.Job{ID: job.ID, Tenant: job.Tenant, Tasks: tasks, Est: est, Ref: idx}
 	si, err := c.scheds[dev].Submit(&sjob)
 	if err != nil {
 		if c.resident != nil {
@@ -1010,6 +1037,8 @@ func (c *Cluster) snapshotMetrics(at sim.Time) telemetry.MetricsSnapshot {
 		Done:         c.done,
 		Steals:       c.steals,
 		ClusterQueue: len(c.queue),
+		HitBytes:     c.telHit,
+		MissBytes:    c.telMiss,
 	}
 	parts := c.ctx.Config().Partitions
 	snap.Devices = make([]telemetry.DeviceMetrics, len(c.scheds))

@@ -155,6 +155,8 @@ func (c *Cluster) stealInto(thief int) bool {
 	o.StagingEst -= q.stagingEst
 	o.HitBytes -= q.hitBytes
 	o.MissBytes -= q.missBytes
+	c.telHit -= q.hitBytes
+	c.telMiss -= q.missBytes
 	o.Staged = o.StagedBytes > 0
 	if c.resident != nil {
 		// The withdrawn job's staged transfer never ran: roll back the

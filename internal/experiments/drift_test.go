@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDriftTable checks the audit table's contract: every mix
+// contributes both sample kinds, the error statistics are internally
+// consistent (p50 ≤ p95, |bias| ≤ mean|err|), and the table renders.
+func TestDriftTable(t *testing.T) {
+	tbl, err := Drift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("got %d rows, want 3 mixes x 2 kinds", len(tbl.Rows))
+	}
+	f := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(cell, "+"), "%"), 64)
+		if err != nil {
+			t.Fatalf("cell %q not numeric: %v", cell, err)
+		}
+		return v
+	}
+	for _, row := range tbl.Rows {
+		if f(row[2]) <= 0 {
+			t.Errorf("%s/%s: no samples", row[0], row[1])
+		}
+		mean, bias, p50, p95 := f(row[3]), f(row[4]), f(row[5]), f(row[6])
+		if p50 > p95 {
+			t.Errorf("%s/%s: p50 %.1f > p95 %.1f", row[0], row[1], p50, p95)
+		}
+		if bias < 0 {
+			bias = -bias
+		}
+		if bias > mean+1e-9 {
+			t.Errorf("%s/%s: |bias| %.1f exceeds mean|err| %.1f", row[0], row[1], bias, mean)
+		}
+		if within := f(row[7]); within < 0 || within > 100 {
+			t.Errorf("%s/%s: within-10%% share %.0f out of range", row[0], row[1], within)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tbl.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sliced-stealing") {
+		t.Errorf("rendered table missing mix rows:\n%s", buf.String())
+	}
+}

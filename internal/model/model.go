@@ -172,6 +172,11 @@ func New(dev device.Config, link pcie.Config) *Model {
 	return &Model{Dev: dev, Link: link}
 }
 
+// Calibration returns the effective calibration factors (1 when
+// uncalibrated) — the drift audit records them in its artifact so an
+// error histogram is attributable to a specific calibration state.
+func (m *Model) Calibration() (transfer, compute float64) { return m.scales() }
+
 // scales returns the effective calibration factors.
 func (m *Model) scales() (ts, cs float64) {
 	ts, cs = m.TransferScale, m.ComputeScale

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"micstream/internal/sim"
+	"micstream/internal/telemetry"
+)
+
+func flEvent(at int64, kind telemetry.Kind, job int) telemetry.Event {
+	return telemetry.Event{At: sim.Time(at), Kind: kind, Job: job, ID: 100 + job, Tenant: "A", Device: 0, From: -1}
+}
+
+// TestFlightFailTriggerDumpsPriorEvents checks that a Fail dumps the
+// events leading up to it — the failure itself is the trigger, not
+// part of the captured window — and that the ring resets afterwards.
+func TestFlightFailTriggerDumpsPriorEvents(t *testing.T) {
+	fl := NewFlightRecorder(8)
+	for i := 0; i < 3; i++ {
+		fl.OnEvent(flEvent(int64(i), telemetry.Dispatch, i))
+	}
+	fl.OnEvent(flEvent(9, telemetry.Fail, 2))
+	dumps := fl.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("got %d dumps, want 1", len(dumps))
+	}
+	d := dumps[0]
+	if !strings.Contains(d.Reason, "job 2") || !strings.Contains(d.Reason, "id 102") {
+		t.Errorf("reason %q does not identify the failed job", d.Reason)
+	}
+	if d.At != sim.Time(9) {
+		t.Errorf("dump stamped at %v, want 9", d.At)
+	}
+	if len(d.Events) != 3 {
+		t.Fatalf("dump captured %d events, want the 3 preceding the failure", len(d.Events))
+	}
+	for i, e := range d.Events {
+		if e.Kind != telemetry.Dispatch || e.Job != i {
+			t.Errorf("event %d = %v job %d, want oldest-first dispatches", i, e.Kind, e.Job)
+		}
+	}
+	// Ring restarts after a dump: only the Fail itself is pending.
+	if fl.Pending() != 1 {
+		t.Errorf("pending %d after dump, want 1 (the Fail event)", fl.Pending())
+	}
+}
+
+// TestFlightRingWraps fills a small ring past capacity and confirms a
+// trigger captures only the newest cap events, oldest first.
+func TestFlightRingWraps(t *testing.T) {
+	fl := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		fl.OnEvent(flEvent(int64(i), telemetry.Dispatch, i))
+	}
+	fl.OnEvent(flEvent(10, telemetry.Fail, 9))
+	d := fl.Dumps()[0]
+	if len(d.Events) != 4 {
+		t.Fatalf("captured %d events, want ring cap 4", len(d.Events))
+	}
+	for i, e := range d.Events {
+		if e.Job != 6+i {
+			t.Errorf("event %d is job %d, want %d (newest 4, oldest first)", i, e.Job, 6+i)
+		}
+	}
+}
+
+func p95Snap(tenant string, p95 sim.Duration) telemetry.MetricsSnapshot {
+	return telemetry.MetricsSnapshot{
+		At:      sim.Time(1000),
+		Tenants: []telemetry.TenantMetrics{{Tenant: tenant, P95: p95}},
+	}
+}
+
+// TestFlightP95TriggerOncePerTenant checks the latency trigger fires
+// on the first breach per tenant and stays quiet on repeats.
+func TestFlightP95TriggerOncePerTenant(t *testing.T) {
+	fl := NewFlightRecorder(8)
+	fl.SetP95Threshold(sim.Duration(5 * sim.Millisecond))
+	fl.OnEvent(flEvent(1, telemetry.Dispatch, 0))
+
+	fl.OnMetrics(p95Snap("A", sim.Duration(4*sim.Millisecond))) // under
+	if len(fl.Dumps()) != 0 {
+		t.Fatal("dumped below threshold")
+	}
+	fl.OnMetrics(p95Snap("A", sim.Duration(6*sim.Millisecond))) // breach
+	fl.OnMetrics(p95Snap("A", sim.Duration(9*sim.Millisecond))) // repeat: quiet
+	fl.OnMetrics(p95Snap("B", sim.Duration(7*sim.Millisecond))) // new tenant: fires
+	dumps := fl.Dumps()
+	if len(dumps) != 2 {
+		t.Fatalf("got %d dumps, want one per breaching tenant", len(dumps))
+	}
+	if !strings.Contains(dumps[0].Reason, `"A"`) || !strings.Contains(dumps[1].Reason, `"B"`) {
+		t.Errorf("reasons %q / %q do not name the breaching tenants", dumps[0].Reason, dumps[1].Reason)
+	}
+	if len(dumps[0].Events) != 1 || dumps[0].Events[0].Job != 0 {
+		t.Errorf("first dump should capture the one pending event, got %v", dumps[0].Events)
+	}
+	// Threshold unset → no metrics trigger at all.
+	quiet := NewFlightRecorder(8)
+	quiet.OnMetrics(p95Snap("A", sim.Duration(sim.Second)))
+	if len(quiet.Dumps()) != 0 {
+		t.Error("recorder with no threshold dumped on metrics")
+	}
+}
+
+// TestFlightWriteText locks the report shape: deterministic text, one
+// header per dump, and an explicit line when nothing fired.
+func TestFlightWriteText(t *testing.T) {
+	fl := NewFlightRecorder(4)
+	fl.OnEvent(flEvent(1, telemetry.Dispatch, 0))
+	fl.OnEvent(flEvent(2, telemetry.Fail, 0))
+	render := func() string {
+		var buf bytes.Buffer
+		if err := fl.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := render()
+	if out != render() {
+		t.Error("report not deterministic across renders")
+	}
+	if !strings.Contains(out, "failed") || !strings.Contains(out, "dispatch") {
+		t.Errorf("report missing trigger reason or captured event:\n%s", out)
+	}
+
+	var empty bytes.Buffer
+	if err := NewFlightRecorder(4).WriteText(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "no triggers fired") {
+		t.Errorf("empty report = %q", empty.String())
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"io"
+
+	"micstream/internal/telemetry"
+)
+
+// WriteMetricsJSON renders a drain-instant snapshot series as
+// machine-readable JSON — the `miccluster -metrics-json` artifact.
+// The rendering is handcrafted and key-ordered like the other
+// artifact writers, so identical series are byte-identical files:
+// integers verbatim, durations in nanoseconds of virtual time, floats
+// in shortest round-trip form.
+func WriteMetricsJSON(w io.Writer, snaps []telemetry.MetricsSnapshot) error {
+	jw := &textSink{w: w}
+	jw.printf("{\n  \"schema\": \"micstream-metrics-v1\",\n  \"snapshots\": [")
+	for i := range snaps {
+		s := &snaps[i]
+		if i > 0 {
+			jw.printf(",")
+		}
+		jw.printf("\n    {\"at_ns\": %d, \"elapsed_ns\": %d, \"done\": %d, \"steals\": %d, \"cluster_queue\": %d, \"fairness\": %s, \"hit_bytes\": %d, \"miss_bytes\": %d,\n",
+			int64(s.At), int64(s.Elapsed), s.Done, s.Steals, s.ClusterQueue, jsonFloat(s.Fairness), s.HitBytes, s.MissBytes)
+		jw.printf("     \"devices\": [")
+		for j := range s.Devices {
+			d := &s.Devices[j]
+			if j > 0 {
+				jw.printf(",")
+			}
+			jw.printf("\n      {\"device\": %d, \"queued\": %d, \"inflight\": %d, \"backlog_ns\": %d, \"kernel_busy_ns\": %d, \"link_busy_ns\": %d, \"utilization\": %s, \"staged_bytes\": %d, \"resident_bytes\": %d}",
+				d.Device, d.Queued, d.InFlight, int64(d.Backlog), int64(d.KernelBusy), int64(d.LinkBusy), jsonFloat(d.Utilization), d.StagedBytes, d.ResidentBytes)
+		}
+		if len(s.Devices) > 0 {
+			jw.printf("\n     ")
+		}
+		jw.printf("],\n     \"tenants\": [")
+		for j := range s.Tenants {
+			t := &s.Tenants[j]
+			if j > 0 {
+				jw.printf(",")
+			}
+			jw.printf("\n      {\"tenant\": %s, \"done\": %d, \"throughput\": %s, \"mean_latency_ns\": %d, \"p95_ns\": %d}",
+				jsonStr(t.Tenant), t.Done, jsonFloat(t.Throughput), int64(t.MeanLatency), int64(t.P95))
+		}
+		if len(s.Tenants) > 0 {
+			jw.printf("\n     ")
+		}
+		jw.printf("]}")
+	}
+	if len(snaps) > 0 {
+		jw.printf("\n  ")
+	}
+	jw.printf("]\n}\n")
+	return jw.err
+}

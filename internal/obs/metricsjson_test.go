@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"micstream/internal/sim"
+	"micstream/internal/telemetry"
+)
+
+func metricsSeries() []telemetry.MetricsSnapshot {
+	ms := sim.Duration(sim.Millisecond)
+	first := goldenSnapshot()
+	second := telemetry.MetricsSnapshot{
+		At: 80 * sim.Time(ms), Elapsed: 80 * ms,
+		Done: 24, Steals: 5, Fairness: 1,
+		HitBytes: 6 << 20, MissBytes: 2 << 20,
+		Devices: []telemetry.DeviceMetrics{
+			{Device: 0, KernelBusy: 60 * ms, Utilization: 0.75},
+			{Device: 1, KernelBusy: 50 * ms, Utilization: 0.625},
+		},
+		Tenants: []telemetry.TenantMetrics{
+			{Tenant: `A"quoted`, Done: 13, Throughput: 162.5, MeanLatency: 3 * ms, P95: 8 * ms},
+			{Tenant: "B", Done: 11, Throughput: 137.5, MeanLatency: 4 * ms, P95: 11 * ms},
+		},
+	}
+	return []telemetry.MetricsSnapshot{first, second}
+}
+
+// TestMetricsJSONGolden locks the -metrics-json artifact byte-for-byte
+// and confirms it parses as JSON with the expected envelope.
+func TestMetricsJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetricsJSON(&buf, metricsSeries()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema    string `json:"schema"`
+		Snapshots []struct {
+			Done    int `json:"done"`
+			Devices []struct {
+				Device int `json:"device"`
+			} `json:"devices"`
+			Tenants []struct {
+				Tenant string `json:"tenant"`
+			} `json:"tenants"`
+		} `json:"snapshots"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Schema != "micstream-metrics-v1" || len(doc.Snapshots) != 2 {
+		t.Fatalf("envelope schema=%q snapshots=%d", doc.Schema, len(doc.Snapshots))
+	}
+	if doc.Snapshots[1].Done != 24 || doc.Snapshots[1].Tenants[0].Tenant != `A"quoted` {
+		t.Errorf("second snapshot decoded wrong: %+v", doc.Snapshots[1])
+	}
+
+	path := filepath.Join("testdata", "metrics_golden.json")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("artifact differs from golden %s (regenerate with -update if deliberate)\ngot:\n%s", path, buf.String())
+	}
+}
+
+// TestMetricsJSONEmpty: a run with no snapshots still yields a valid,
+// stable document.
+func TestMetricsJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetricsJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty artifact invalid: %v\n%s", err, buf.String())
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"micstream/internal/telemetry"
+)
+
+// openMetricsContentType is the OpenMetrics text exposition media
+// type Prometheus negotiates.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Exporter renders the latest MetricsSnapshot in the OpenMetrics text
+// exposition format — a zero-dependency Prometheus endpoint for
+// `miccluster -serve`. Feed it snapshots with Observe (or wire it to
+// a recorder's snapshot hook via Attach); Render and ServeHTTP expose
+// the latest one. The exporter is a pure consumer on the far side of
+// the recorder: observing never perturbs a run, and rendering the
+// same snapshot twice is byte-identical (device order is positional,
+// tenant order is the snapshot's own sorted order, floats render in
+// shortest round-trip form).
+type Exporter struct {
+	mu   sync.Mutex
+	snap telemetry.MetricsSnapshot
+	seen bool
+}
+
+// NewExporter returns an exporter with no snapshot yet (Render emits
+// only the trailing # EOF until one arrives).
+func NewExporter() *Exporter { return &Exporter{} }
+
+// Observe replaces the exporter's current snapshot. Safe for
+// concurrent use with Render/ServeHTTP.
+func (x *Exporter) Observe(s telemetry.MetricsSnapshot) {
+	x.mu.Lock()
+	x.snap = s
+	x.seen = true
+	x.mu.Unlock()
+}
+
+// Attach subscribes the exporter to a recorder's drain-instant
+// snapshots. It claims the recorder's single snapshot observer; to
+// fan out to several consumers, install a composite hook instead.
+func (x *Exporter) Attach(rec *telemetry.Recorder) {
+	rec.SetOnMetrics(x.Observe)
+}
+
+// Render writes the latest snapshot as OpenMetrics text, terminated
+// by the mandatory # EOF marker.
+func (x *Exporter) Render(w io.Writer) error {
+	x.mu.Lock()
+	snap, seen := x.snap, x.seen
+	x.mu.Unlock()
+	mw := &textSink{w: w}
+	if seen {
+		renderSnapshot(mw, &snap)
+	}
+	mw.printf("# EOF\n")
+	return mw.err
+}
+
+// ServeHTTP implements http.Handler for the /metrics endpoint.
+func (x *Exporter) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", openMetricsContentType)
+	_ = x.Render(w)
+}
+
+func renderSnapshot(w *textSink, s *telemetry.MetricsSnapshot) {
+	family(w, "micstream_jobs_done", "counter", "Jobs completed this run.")
+	w.printf("micstream_jobs_done_total %d\n", s.Done)
+	family(w, "micstream_steals", "counter", "Drain-instant re-bindings this run.")
+	w.printf("micstream_steals_total %d\n", s.Steals)
+	family(w, "micstream_cluster_queue_depth", "gauge", "Cluster-level admission queue depth.")
+	w.printf("micstream_cluster_queue_depth %d\n", s.ClusterQueue)
+	family(w, "micstream_fairness_jain", "gauge", "Jain's fairness index over per-tenant throughputs.")
+	w.printf("micstream_fairness_jain %s\n", omFloat(s.Fairness))
+	family(w, "micstream_elapsed_virtual_seconds", "gauge", "Virtual time elapsed since the run started.")
+	w.printf("micstream_elapsed_virtual_seconds %s\n", omFloat(s.Elapsed.Seconds()))
+	family(w, "micstream_residency_hit_ratio", "gauge", "Resident bytes served over total staging demand (0 when no demand).")
+	ratio := 0.0
+	if total := s.HitBytes + s.MissBytes; total > 0 {
+		ratio = float64(s.HitBytes) / float64(total)
+	}
+	w.printf("micstream_residency_hit_ratio %s\n", omFloat(ratio))
+
+	family(w, "micstream_device_utilization", "gauge", "Per-device kernel occupancy over elapsed time and partitions.")
+	for i := range s.Devices {
+		d := &s.Devices[i]
+		w.printf("micstream_device_utilization{device=\"%d\"} %s\n", d.Device, omFloat(d.Utilization))
+	}
+	family(w, "micstream_device_queue_depth", "gauge", "Per-device committed-but-undispatched jobs.")
+	for i := range s.Devices {
+		d := &s.Devices[i]
+		w.printf("micstream_device_queue_depth{device=\"%d\"} %d\n", d.Device, d.Queued)
+	}
+	family(w, "micstream_device_inflight", "gauge", "Per-device dispatched-but-unfinished jobs.")
+	for i := range s.Devices {
+		d := &s.Devices[i]
+		w.printf("micstream_device_inflight{device=\"%d\"} %d\n", d.Device, d.InFlight)
+	}
+	family(w, "micstream_device_staged_bytes", "gauge", "Per-device staging volume charged this run.")
+	for i := range s.Devices {
+		d := &s.Devices[i]
+		w.printf("micstream_device_staged_bytes{device=\"%d\"} %d\n", d.Device, d.StagedBytes)
+	}
+	family(w, "micstream_device_resident_bytes", "gauge", "Per-device residency-cache footprint.")
+	for i := range s.Devices {
+		d := &s.Devices[i]
+		w.printf("micstream_device_resident_bytes{device=\"%d\"} %d\n", d.Device, d.ResidentBytes)
+	}
+
+	family(w, "micstream_tenant_jobs_done", "counter", "Per-tenant jobs completed this run.")
+	for i := range s.Tenants {
+		t := &s.Tenants[i]
+		w.printf("micstream_tenant_jobs_done_total{tenant=%s} %d\n", omLabel(t.Tenant), t.Done)
+	}
+	family(w, "micstream_tenant_throughput_jobs_per_second", "gauge", "Per-tenant completions per virtual second.")
+	for i := range s.Tenants {
+		t := &s.Tenants[i]
+		w.printf("micstream_tenant_throughput_jobs_per_second{tenant=%s} %s\n", omLabel(t.Tenant), omFloat(t.Throughput))
+	}
+	family(w, "micstream_tenant_p95_latency_seconds", "gauge", "Per-tenant 95th-percentile response time so far.")
+	for i := range s.Tenants {
+		t := &s.Tenants[i]
+		w.printf("micstream_tenant_p95_latency_seconds{tenant=%s} %s\n", omLabel(t.Tenant), omFloat(t.P95.Seconds()))
+	}
+}
+
+func family(w *textSink, name, typ, help string) {
+	w.printf("# TYPE %s %s\n# HELP %s %s\n", name, typ, name, help)
+}
+
+// omFloat renders a float in the shortest round-trip decimal form —
+// deterministic across runs and platforms.
+func omFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// omLabel quotes a label value per the exposition format (backslash,
+// quote and newline escaped).
+func omLabel(s string) string {
+	b := make([]byte, 0, len(s)+2)
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\', '"':
+			b = append(b, '\\', c)
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, c)
+		}
+	}
+	return string(append(b, '"'))
+}
+
+// ListenAndServe exposes the exporter at /metrics (plus a minimal /)
+// on addr, blocking until the server fails. `miccluster -serve` calls
+// it after the run so a scraper can read the final state; tests hit
+// ServeHTTP directly.
+func (x *Exporter) ListenAndServe(addr string) error {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", x)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "micstream metrics: scrape /metrics")
+	})
+	return http.ListenAndServe(addr, mux)
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"micstream/internal/sim"
+	"micstream/internal/telemetry"
+)
+
+const tms = sim.Time(sim.Millisecond)
+
+// TestFoldSingleShot folds the minimal lifecycle: admit → place →
+// dispatch → complete, with a staging commitment in between.
+func TestFoldSingleShot(t *testing.T) {
+	events := []telemetry.Event{
+		{At: 0, Kind: telemetry.Admit, Job: 0, ID: 7, Tenant: "A", Device: -1},
+		{At: 1 * tms, Kind: telemetry.Place, Job: 0, ID: 7, Tenant: "A", Device: 1},
+		{At: 1 * tms, Kind: telemetry.Hit, Job: 0, Device: 1, Bytes: 100},
+		{At: 1 * tms, Kind: telemetry.Stage, Job: 0, Device: 1, Bytes: 900, Dur: sim.Duration(tms)},
+		{At: 3 * tms, Kind: telemetry.Dispatch, Job: 0, ID: 7, Tenant: "A", Device: 1, Stream: 2, Dur: sim.Duration(5 * tms)},
+		{At: 9 * tms, Kind: telemetry.Complete, Job: 0, ID: 7, Tenant: "A", Device: 1, Stream: 2, Dur: sim.Duration(6 * tms)},
+	}
+	ts := Fold(events)
+	if len(ts) != 1 {
+		t.Fatalf("got %d timelines, want 1", len(ts))
+	}
+	tl := ts[0]
+	if tl.PlaceWait != sim.Duration(tms) || tl.CommitWait != sim.Duration(2*tms) || tl.Exec != sim.Duration(6*tms) {
+		t.Errorf("phases = %+v, want place-wait 1ms commit-wait 2ms exec 6ms", tl)
+	}
+	if tl.SliceWait != 0 || tl.Migration != 0 {
+		t.Errorf("unexpected gap phases: %+v", tl)
+	}
+	if tl.PhaseSum() != tl.Latency() || tl.Latency() != sim.Duration(9*tms) {
+		t.Errorf("phase sum %v != latency %v", tl.PhaseSum(), tl.Latency())
+	}
+	if tl.Staging != sim.Duration(tms) || tl.StagedBytes != 900 || tl.HitBytes != 100 {
+		t.Errorf("staging attribution wrong: %+v", tl)
+	}
+	if tl.Device != 1 || tl.Slices != 1 || tl.CriticalPhase() != PhaseExec {
+		t.Errorf("metadata wrong: device %d slices %d critical %s", tl.Device, tl.Slices, tl.CriticalPhase())
+	}
+}
+
+// TestFoldSlicedWithMigration exercises the full phase vocabulary: a
+// job sliced into three grants, the second gap crossing devices via a
+// preemption, so exec spans, slice waits and migration gaps all
+// accrue — and still partition the latency exactly.
+func TestFoldSlicedWithMigration(t *testing.T) {
+	events := []telemetry.Event{
+		{At: 0, Kind: telemetry.Admit, Job: 3, ID: 30, Tenant: "B", Device: -1},
+		{At: 2 * tms, Kind: telemetry.Place, Job: 3, Device: 0},
+		{At: 4 * tms, Kind: telemetry.Dispatch, Job: 3, Device: 0, Stream: 0, Dur: sim.Duration(3 * tms)},
+		{At: 7 * tms, Kind: telemetry.Requeue, Job: 3, Device: 0, Stream: 0, Dur: sim.Duration(3 * tms)},
+		{At: 8 * tms, Kind: telemetry.Slice, Job: 3, Device: 0, Stream: 0, Dur: sim.Duration(2 * tms)},
+		{At: 10 * tms, Kind: telemetry.Requeue, Job: 3, Device: 0, Stream: 0, Dur: sim.Duration(2 * tms)},
+		{At: 12 * tms, Kind: telemetry.Preempt, Job: 3, Device: 1, From: 0, Dur: sim.Duration(tms)},
+		{At: 12 * tms, Kind: telemetry.Stage, Job: 3, Device: 1, Bytes: 50, Dur: sim.Duration(tms / 2)},
+		{At: 13 * tms, Kind: telemetry.Slice, Job: 3, Device: 1, Stream: 4, Dur: sim.Duration(2 * tms)},
+		{At: 15 * tms, Kind: telemetry.Complete, Job: 3, Device: 1, Stream: 4, Dur: sim.Duration(11 * tms)},
+	}
+	tl := Fold(events)[0]
+	if tl.PlaceWait != sim.Duration(2*tms) || tl.CommitWait != sim.Duration(2*tms) {
+		t.Errorf("waits wrong: %+v", tl)
+	}
+	if tl.Exec != sim.Duration(7*tms) { // 3 + 2 + 2
+		t.Errorf("exec = %v, want 7ms", tl.Exec)
+	}
+	if tl.SliceWait != sim.Duration(tms) { // 7→8 on-device
+		t.Errorf("slice-wait = %v, want 1ms", tl.SliceWait)
+	}
+	if tl.Migration != sim.Duration(3*tms) { // 10→13 across the preempt
+		t.Errorf("migration = %v, want 3ms", tl.Migration)
+	}
+	if tl.PhaseSum() != tl.Latency() {
+		t.Errorf("phase sum %v != latency %v", tl.PhaseSum(), tl.Latency())
+	}
+	if tl.Slices != 3 || tl.Preempts != 1 || tl.Device != 1 {
+		t.Errorf("counts wrong: %+v", tl)
+	}
+	if tl.Staging != sim.Duration(tms/2) || tl.StagedBytes != 50 {
+		t.Errorf("migrated staging not flushed: %+v", tl)
+	}
+}
+
+// TestFoldStealDiscardsWithdrawnStaging checks the commitment
+// discipline: a Stage recorded before a pre-dispatch Steal was
+// un-charged by the withdraw and must not appear in the timeline,
+// while the thief's re-staging must.
+func TestFoldStealDiscardsWithdrawnStaging(t *testing.T) {
+	events := []telemetry.Event{
+		{At: 0, Kind: telemetry.Admit, Job: 1, ID: 11, Tenant: "A", Device: -1},
+		{At: 1 * tms, Kind: telemetry.Place, Job: 1, Device: 0},
+		{At: 1 * tms, Kind: telemetry.Stage, Job: 1, Device: 0, Bytes: 1000, Dur: sim.Duration(2 * tms)},
+		{At: 5 * tms, Kind: telemetry.Steal, Job: 1, Device: 1, From: 0, Dur: sim.Duration(4 * tms)},
+		{At: 5 * tms, Kind: telemetry.Stage, Job: 1, Device: 1, Bytes: 400, Dur: sim.Duration(tms)},
+		{At: 6 * tms, Kind: telemetry.Dispatch, Job: 1, Device: 1, Stream: 3, Dur: sim.Duration(2 * tms)},
+		{At: 8 * tms, Kind: telemetry.Complete, Job: 1, Device: 1, Stream: 3, Dur: sim.Duration(2 * tms)},
+	}
+	tl := Fold(events)[0]
+	if tl.StagedBytes != 400 || tl.Staging != sim.Duration(tms) {
+		t.Errorf("withdrawn staging leaked into the timeline: %+v", tl)
+	}
+	if tl.Steals != 1 || tl.Device != 1 {
+		t.Errorf("steal not recorded: %+v", tl)
+	}
+	// The steal happened during the commit wait: placement → dispatch
+	// is all commit wait, no migration gap (the job never ran on the
+	// victim).
+	if tl.CommitWait != sim.Duration(5*tms) || tl.Migration != 0 {
+		t.Errorf("steal misattributed: %+v", tl)
+	}
+	if tl.PhaseSum() != tl.Latency() {
+		t.Errorf("phase sum %v != latency %v", tl.PhaseSum(), tl.Latency())
+	}
+}
+
+// TestFoldMultiRunReopensIndices folds a two-run log (the recorder is
+// append-only across runs): each run's Admit for job 0 opens a fresh
+// timeline.
+func TestFoldMultiRunReopensIndices(t *testing.T) {
+	one := []telemetry.Event{
+		{At: 0, Kind: telemetry.Admit, Job: 0, ID: 1, Tenant: "A", Device: -1},
+		{At: 1 * tms, Kind: telemetry.Dispatch, Job: 0, Device: -1, Stream: 0, Dur: sim.Duration(tms)},
+		{At: 2 * tms, Kind: telemetry.Complete, Job: 0, Device: -1, Stream: 0, Dur: sim.Duration(tms)},
+	}
+	two := []telemetry.Event{
+		{At: 10 * tms, Kind: telemetry.Admit, Job: 0, ID: 2, Tenant: "A", Device: -1},
+		{At: 11 * tms, Kind: telemetry.Dispatch, Job: 0, Device: -1, Stream: 0, Dur: sim.Duration(tms)},
+		{At: 13 * tms, Kind: telemetry.Complete, Job: 0, Device: -1, Stream: 0, Dur: sim.Duration(3 * tms)},
+	}
+	ts := Fold(append(append([]telemetry.Event{}, one...), two...))
+	if len(ts) != 2 {
+		t.Fatalf("got %d timelines, want 2", len(ts))
+	}
+	if ts[0].ID != 1 || ts[1].ID != 2 {
+		t.Errorf("runs not split: %+v", ts)
+	}
+	if ts[0].Latency() != sim.Duration(2*tms) || ts[1].Latency() != sim.Duration(3*tms) {
+		t.Errorf("latencies wrong: %v %v", ts[0].Latency(), ts[1].Latency())
+	}
+	// Standalone scheduler logs have no Place event: the commit wait
+	// anchors on admission and place-wait stays zero.
+	if ts[0].PlaceWait != 0 || ts[0].CommitWait != sim.Duration(tms) {
+		t.Errorf("standalone anchor wrong: %+v", ts[0])
+	}
+}
+
+// TestFoldFailedJob marks failures and excludes them from aggregates.
+func TestFoldFailedJob(t *testing.T) {
+	events := []telemetry.Event{
+		{At: 0, Kind: telemetry.Admit, Job: 0, ID: 1, Tenant: "A", Device: -1},
+		{At: 1 * tms, Kind: telemetry.Fail, Job: 0, ID: 1, Tenant: "A", Device: -1},
+		{At: 0, Kind: telemetry.Admit, Job: 1, ID: 2, Tenant: "A", Device: -1},
+		{At: 1 * tms, Kind: telemetry.Dispatch, Job: 1, Device: -1, Stream: 0, Dur: sim.Duration(tms)},
+		{At: 2 * tms, Kind: telemetry.Complete, Job: 1, Device: -1, Stream: 0, Dur: sim.Duration(tms)},
+	}
+	ts := Fold(events)
+	if !ts[0].Failed || ts[1].Failed {
+		t.Fatalf("failure flags wrong: %+v", ts)
+	}
+	byTenant := ByTenant(ts)
+	if len(byTenant) != 1 || byTenant[0].Jobs != 1 {
+		t.Errorf("failed job leaked into aggregates: %+v", byTenant)
+	}
+}
+
+// TestBreakdownAggregation checks grouping keys, ordering and sums.
+func TestBreakdownAggregation(t *testing.T) {
+	ts := []Timeline{
+		{Job: 0, Tenant: "B", Device: 1, Done: 10 * tms, Exec: sim.Duration(4 * tms), CommitWait: sim.Duration(6 * tms), Admitted: 0},
+		{Job: 1, Tenant: "A", Device: 0, Done: 8 * tms, Exec: sim.Duration(8 * tms), Admitted: 0},
+		{Job: 2, Tenant: "B", Device: 0, Done: 6 * tms, Exec: sim.Duration(6 * tms), Admitted: 0},
+	}
+	byTenant := ByTenant(ts)
+	if len(byTenant) != 2 || byTenant[0].Key != "A" || byTenant[1].Key != "B" {
+		t.Fatalf("tenant grouping wrong: %+v", byTenant)
+	}
+	if byTenant[1].Jobs != 2 || byTenant[1].Exec != sim.Duration(10*tms) || byTenant[1].Latency != sim.Duration(16*tms) {
+		t.Errorf("tenant B aggregate wrong: %+v", byTenant[1])
+	}
+	byDev := ByDevice(ts)
+	if len(byDev) != 2 || byDev[0].Key != "device0" || byDev[0].Jobs != 2 {
+		t.Errorf("device grouping wrong: %+v", byDev)
+	}
+}
+
+// TestWriteTimelineRenders smoke-checks the -explain rendering: the
+// critical phase is starred and the phase sum line is present.
+func TestWriteTimelineRenders(t *testing.T) {
+	events := []telemetry.Event{
+		{At: 0, Kind: telemetry.Admit, Job: 0, ID: 9, Tenant: "A", Device: -1},
+		{At: 6 * tms, Kind: telemetry.Place, Job: 0, Device: 0},
+		{At: 6 * tms, Kind: telemetry.Dispatch, Job: 0, Device: 0, Stream: 0, Dur: sim.Duration(tms)},
+		{At: 7 * tms, Kind: telemetry.Complete, Job: 0, Device: 0, Stream: 0, Dur: sim.Duration(tms)},
+	}
+	tl := Fold(events)[0]
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, &tl); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "* place-wait") {
+		t.Errorf("critical phase not starred:\n%s", out)
+	}
+	if !strings.Contains(out, "phase sum") || !strings.Contains(out, "job 0 (id 9, tenant A)") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+	var tbl bytes.Buffer
+	if err := WriteBreakdowns(&tbl, "by tenant", ByTenant([]Timeline{tl})); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "A") {
+		t.Errorf("breakdown table missing group:\n%s", tbl.String())
+	}
+}

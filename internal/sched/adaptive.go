@@ -127,17 +127,25 @@ func (p *adaptive) Pick(pending []*Pending, idle []int, v *View) (int, int) {
 // observed mix when any tenant's share of the arrived work has moved
 // more than driftThreshold since the last plan.
 func (p *adaptive) replanIfDrifted() {
+	// Iterate the arrived shares in sorted tenant order: the total is
+	// a float accumulation, so a fixed order keeps re-planning
+	// bit-deterministic regardless of map layout.
+	tenants := make([]string, 0, len(p.arrived))
+	for tn := range p.arrived {
+		tenants = append(tenants, tn)
+	}
+	sort.Strings(tenants)
 	var total float64
-	for _, w := range p.arrived {
-		total += w
+	for _, tn := range tenants {
+		total += p.arrived[tn]
 	}
 	if total <= 0 {
 		return
 	}
 	if p.planned != nil {
 		drift := 0.0
-		for tn, w := range p.arrived {
-			d := w/total - p.planned[tn]
+		for _, tn := range tenants {
+			d := p.arrived[tn]/total - p.planned[tn]
 			if d < 0 {
 				d = -d
 			}
@@ -150,8 +158,8 @@ func (p *adaptive) replanIfDrifted() {
 		}
 	}
 	p.planned = make(map[string]float64, len(p.arrived))
-	for tn, w := range p.arrived {
-		p.planned[tn] = w / total
+	for _, tn := range tenants {
+		p.planned[tn] = p.arrived[tn] / total
 	}
 	p.plans++
 }

@@ -65,6 +65,13 @@ type Job struct {
 	// cost-aware policies; 0 means the scheduler derives one from the
 	// tasks' kernel costs and transfer sizes.
 	Est sim.Duration
+	// Ref is the embedding layer's index for the job. An embedded
+	// scheduler (WithDevice) stamps it onto every telemetry event it
+	// emits in place of its own outcome index, so a cluster log's
+	// dispatch/slice/requeue/complete events share the cluster-level
+	// index space with the admit/place/steal events — one index
+	// correlates all layers (DESIGN.md §14). Ignored standalone.
+	Ref int
 }
 
 // Pending is a queued job together with the bookkeeping policies see.
@@ -418,6 +425,16 @@ func (s *Scheduler) SetTelemetry(rec *telemetry.Recorder, device int) {
 	s.telDev = device
 }
 
+// telIdx is the job index stamped on emitted events: the embedding
+// layer's Job.Ref in embedded mode (so cluster logs keep one index
+// space across layers), the scheduler-local outcome index standalone.
+func (s *Scheduler) telIdx(idx int, job *Job) int {
+	if s.telDev >= 0 {
+		return job.Ref
+	}
+	return idx
+}
+
 // SetOnDone registers fn to run at every job-completion instant, after
 // the scheduler has updated its own state and re-entered the dispatch
 // loop. The cluster layer uses it to place queued jobs at drain
@@ -549,7 +566,7 @@ func (s *Scheduler) admit(job *Job, idx int) {
 	if s.runErr != nil {
 		s.outcomes[idx].Failed = true
 		if s.tel.Enabled() {
-			s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Fail, Job: idx, ID: job.ID,
+			s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Fail, Job: s.telIdx(idx, job), ID: job.ID,
 				Tenant: tenantOf(job), Device: s.telDev, From: -1, Stream: -1})
 		}
 		if s.onDone != nil {
@@ -582,7 +599,7 @@ func (s *Scheduler) fail(err error) {
 	for _, p := range stranded {
 		s.outcomes[p.idx].Failed = true
 		if s.tel.Enabled() {
-			s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Fail, Job: p.idx, ID: p.Job.ID,
+			s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Fail, Job: s.telIdx(p.idx, p.Job), ID: p.Job.ID,
 				Tenant: tenantOf(p.Job), Device: s.telDev, From: -1, Stream: -1})
 		}
 		if s.onDone != nil {
@@ -648,6 +665,7 @@ func (s *Scheduler) start(p *Pending, stream int) {
 		est = s.Estimate(chunk)
 	}
 	first := p.Next == 0
+	granted := s.ctx.Now()
 	s.busy[stream] = true
 	s.streamTenant[stream] = tenantOf(p.Job)
 	s.load[stream] += est
@@ -662,7 +680,7 @@ func (s *Scheduler) start(p *Pending, stream int) {
 		if !first {
 			kind = telemetry.Slice
 		}
-		s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: kind, Job: idx, ID: p.Job.ID,
+		s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: kind, Job: s.telIdx(idx, p.Job), ID: p.Job.ID,
 			Tenant: tenantOf(p.Job), Device: s.telDev, From: -1, Stream: global, Dur: est})
 	}
 
@@ -697,7 +715,7 @@ func (s *Scheduler) start(p *Pending, stream int) {
 		// mark it failed before stranding the queue behind it.
 		s.outcomes[idx].Failed = true
 		if s.tel.Enabled() {
-			s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Fail, Job: idx, ID: p.Job.ID,
+			s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Fail, Job: s.telIdx(idx, p.Job), ID: p.Job.ID,
 				Tenant: tenantOf(p.Job), Device: s.telDev, From: -1, Stream: global})
 		}
 		s.fail(fmt.Errorf("sched: job %d: %w", p.Job.ID, err))
@@ -715,11 +733,19 @@ func (s *Scheduler) start(p *Pending, stream int) {
 			// remainder (remaining tasks only — completed slices must
 			// not inflate PendingBacklog) and re-queue it in admission
 			// order, then let the policy re-plan. The job's outcome
-			// completes only at its final slice.
+			// completes only at its final slice. The Requeue event
+			// closes the grant opened by Dispatch/Slice, carrying the
+			// slice's realized span, so the timeline folder can
+			// reconstruct per-slice execution exactly.
 			s.busy[stream] = false
 			s.streamTenant[stream] = ""
 			p.Next = end
 			p.Est = s.Estimate(all[end:])
+			if s.tel.Enabled() {
+				s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Requeue, Job: s.telIdx(idx, p.Job), ID: p.Job.ID,
+					Tenant: tenantOf(p.Job), Device: s.telDev, From: -1, Stream: global,
+					Dur: s.ctx.Now().Sub(granted)})
+			}
 			s.requeue(p)
 			s.dispatch()
 			return
@@ -729,7 +755,7 @@ func (s *Scheduler) start(p *Pending, stream int) {
 		s.busy[stream] = false
 		s.streamTenant[stream] = ""
 		if s.tel.Enabled() {
-			s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Complete, Job: idx, ID: p.Job.ID,
+			s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Complete, Job: s.telIdx(idx, p.Job), ID: p.Job.ID,
 				Tenant: tenantOf(p.Job), Device: s.telDev, From: -1, Stream: global,
 				Dur: s.outcomes[idx].Done.Sub(s.outcomes[idx].Start)})
 		}

@@ -156,6 +156,9 @@ func (cw *chromeWriter) decision(e Event, tracks map[string]int) {
 	case Preempt:
 		cw.instant("preempt", "g", maxInt(e.Device+1, 0),
 			fmt.Sprintf(`"job":%d,"thief":%d,"victim":%d,"gain_us":%s`, e.Job, e.Device, e.From, usOf(int64(e.Dur))), e)
+	case Requeue:
+		cw.instant("requeue", "p", e.Device+1,
+			fmt.Sprintf(`"job":%d,"stream":%d,"ran_us":%s`, e.Job, e.Stream, usOf(int64(e.Dur))), e)
 	}
 }
 

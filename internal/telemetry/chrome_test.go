@@ -35,6 +35,7 @@ func goldenFixture() ([]trace.Span, *Recorder) {
 	r.Emit(Event{At: 0, Kind: Stage, Job: 0, ID: 100, Tenant: "A", Device: 0, From: -1, Stream: -1, Bytes: 2 << 20, Dur: sim.Duration(ms)})
 	r.Emit(Event{At: 0, Kind: Dispatch, Job: 0, ID: 100, Tenant: "A", Device: 0, From: -1, Stream: 0, Dur: sim.Duration(3 * ms)})
 	r.Emit(Event{At: sim.Time(ms / 2), Kind: Steal, Job: 1, ID: 101, Tenant: "B", Device: 1, From: 0, Stream: -1, Dur: sim.Duration(2 * ms)})
+	r.Emit(Event{At: sim.Time(ms), Kind: Requeue, Job: 0, ID: 100, Tenant: "A", Device: 0, From: -1, Stream: 0, Dur: sim.Duration(ms)})
 	r.Emit(Event{At: sim.Time(ms), Kind: Slice, Job: 0, ID: 100, Tenant: "A", Device: 0, From: -1, Stream: 0, Dur: sim.Duration(ms)})
 	r.Emit(Event{At: 2 * ms, Kind: Preempt, Job: 1, ID: 101, Tenant: "B", Device: 1, From: 0, Stream: -1, Dur: sim.Duration(ms)})
 	r.Emit(Event{At: 2 * ms, Kind: Dispatch, Job: 1, ID: 101, Tenant: "B", Device: 1, From: -1, Stream: 2, Dur: sim.Duration(3 * ms)})

@@ -57,6 +57,13 @@ type MetricsSnapshot struct {
 	// Fairness is Jain's index over the per-tenant throughputs so far
 	// (1 = perfectly even, 1/n = one tenant has everything).
 	Fairness float64
+	// HitBytes and MissBytes are the cumulative residency-cache split
+	// of staging demand committed so far this run: bytes served
+	// resident versus bytes charged as cold-miss transfer. Withdrawn
+	// commitments (steal re-bindings) are un-charged, mirroring the
+	// per-device StagedBytes accounting, so the pair is exact, not
+	// monotone. Both 0 cache-less.
+	HitBytes, MissBytes int64
 	// Devices lists per-device state in device order; Tenants lists
 	// per-tenant accounting sorted by tenant label.
 	Devices []DeviceMetrics

@@ -38,7 +38,13 @@ type Kind uint8
 // re-enters placement and stealing from; Slice marks a follow-up
 // slice of a partially-dispatched job being granted a stream (the
 // first slice logs Dispatch); Preempt is a mid-job steal — the
-// undispatched remainder of a dispatched job migrating to a thief.
+// undispatched remainder of a dispatched job migrating to a thief;
+// Requeue marks a slice boundary — the stream grant ending with the
+// job unfinished and its remainder re-entering the queue, so every
+// grant closes with exactly one Requeue or Complete and the timeline
+// folder (internal/obs) can reconstruct per-slice execution spans
+// exactly (DESIGN.md §14). New kinds append at the end: the numeric
+// values are load-bearing for recorded logs.
 const (
 	Admit Kind = iota
 	Place
@@ -53,12 +59,13 @@ const (
 	Drain
 	Slice
 	Preempt
+	Requeue
 )
 
 var kindNames = [...]string{
 	"admit", "place", "dispatch", "complete", "fail",
 	"steal", "hit", "stage", "evict", "invalidate", "drain",
-	"slice", "preempt",
+	"slice", "preempt", "requeue",
 }
 
 // String returns the short event-kind label used in exports.
@@ -91,9 +98,13 @@ type Event struct {
 	Seq int
 	// Kind classifies the decision.
 	Kind Kind
-	// Job is the emitting layer's outcome index for the job (the
-	// cluster-level index on cluster events, the scheduler-local index
-	// on sched events); -1 on events not tied to a job.
+	// Job is the owning run's outcome index for the job. On cluster
+	// runs every event — including the dispatch/slice/requeue/complete
+	// events the embedded per-device schedulers emit — carries the
+	// cluster-level index (the cluster stamps it on the submitted
+	// sched.Job's Ref), so a single index space correlates all layers
+	// of one log; standalone scheduler events carry the scheduler-local
+	// index. -1 on events not tied to a job.
 	Job int
 	// ID echoes the job's caller-assigned label — the cross-layer
 	// correlator, since cluster and device indices differ.
@@ -115,8 +126,9 @@ type Event struct {
 	// bytes on Evict/Invalidate.
 	Bytes int64
 	// Dur carries the event's duration signal: the service estimate on
-	// Admit/Dispatch, the realized service on Complete, the predicted
-	// gain on Steal, the modeled staging occupancy on Stage.
+	// Admit/Dispatch/Slice, the realized service on Complete, the
+	// realized span of the just-ended slice on Requeue, the predicted
+	// gain on Steal/Preempt, the modeled staging occupancy on Stage.
 	Dur sim.Duration
 	// Scores lists every eligible device's predicted completion at a
 	// Place decision, when the placement policy exposes its scores
@@ -134,6 +146,15 @@ type Event struct {
 type Recorder struct {
 	events []Event
 	snaps  []MetricsSnapshot
+
+	// onEvent and onMetrics are live observers (a flight recorder, a
+	// metrics exporter) invoked synchronously after each append, in
+	// decision order with virtual timestamps. Observers are pure
+	// consumers: nothing they do feeds back into a scheduling decision,
+	// so an observed run stays bit-identical to a bare one. A nil
+	// recorder never invokes them (the disabled path is unchanged).
+	onEvent   func(Event)
+	onMetrics func(MetricsSnapshot)
 }
 
 // NewRecorder returns an empty recorder.
@@ -152,6 +173,27 @@ func (r *Recorder) Emit(e Event) {
 	}
 	e.Seq = len(r.events)
 	r.events = append(r.events, e)
+	if r.onEvent != nil {
+		r.onEvent(e)
+	}
+}
+
+// SetOnEvent installs (or clears, with nil) a live event observer.
+// The observer sees every event after it is appended, Seq stamped, in
+// decision order. Install before Run; observers must not mutate the
+// recorder.
+func (r *Recorder) SetOnEvent(fn func(Event)) {
+	if r != nil {
+		r.onEvent = fn
+	}
+}
+
+// SetOnMetrics installs (or clears, with nil) a live metrics-snapshot
+// observer, called after each drain-instant snapshot is appended.
+func (r *Recorder) SetOnMetrics(fn func(MetricsSnapshot)) {
+	if r != nil {
+		r.onMetrics = fn
+	}
 }
 
 // Events returns the recorded events in emission order. The returned
@@ -178,6 +220,9 @@ func (r *Recorder) AddMetrics(s MetricsSnapshot) {
 		return
 	}
 	r.snaps = append(r.snaps, s)
+	if r.onMetrics != nil {
+		r.onMetrics(s)
+	}
 }
 
 // Metrics returns the recorded snapshots in emission order. The

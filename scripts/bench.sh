@@ -7,19 +7,27 @@
 # Runs every benchmark at -benchtime 1x (a smoke pass: one iteration
 # each, catching crashes and gross regressions rather than noise-free
 # timings) and renders the `go test -bench` output into
-# BENCH_<run-id>.json. CI invokes this with the workflow run id and
-# uploads the file as an artifact, so the sequence of artifacts across
-# runs forms a recorded perf trajectory; bench/BENCH_baseline.json is
-# the first committed point.
+# bench/BENCH_<run-id>.json — next to bench/BENCH_baseline.json, so
+# the directory accumulates the recorded perf trajectory instead of
+# scattering points at the repo root where .gitignore eats them. CI
+# invokes this with the workflow run id and uploads the file as an
+# artifact too.
 #
-# Units in the JSON are the benchmark's own: ns/op becomes ns_per_op,
-# jobs/s becomes jobs_per_s, and any other metric follows the same
-# slash-to-_per_ rule.
+# The point carries two views: "benchmarks", every benchmark's own
+# metrics (ns/op becomes ns_per_op, jobs/s becomes jobs_per_s, any
+# other metric follows the same slash-to-_per_ rule), and
+# "throughput", the extracted jobs-per-second admission series (the
+# scheduler/cluster/traced canaries) — the headline numbers a
+# trajectory diff looks at first.
+#
+# Zero matched benchmarks is a failure, not an empty trajectory point:
+# a -run/-bench typo or a build constraint silently filtering the
+# suite must fail CI loudly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run="${1:-local}"
-out="BENCH_${run}.json"
+out="bench/BENCH_${run}.json"
 benchtime="${BENCHTIME:-1x}"
 
 raw="$(mktemp)"
@@ -27,6 +35,13 @@ trap 'rm -f "$raw"' EXIT
 
 go test -bench . -benchtime "$benchtime" -run '^$' . | tee "$raw"
 
+matched="$(grep -c '^Benchmark' "$raw" || true)"
+if [ "${matched:-0}" -eq 0 ]; then
+  echo "bench.sh: no benchmarks matched — refusing to write an empty trajectory point" >&2
+  exit 1
+fi
+
+mkdir -p bench
 {
   printf '{\n'
   printf '  "run": "%s",\n' "$run"
@@ -49,8 +64,24 @@ go test -bench . -benchtime "$benchtime" -run '^$' . | tee "$raw"
     }
     END { print "" }
   ' "$raw"
+  printf '  ],\n'
+  printf '  "throughput": [\n'
+  awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      for (i = 3; i < NF; i += 2) {
+        if ($(i + 1) == "jobs/s") {
+          line = sprintf("    {\"name\": \"%s\", \"jobs_per_s\": %s}", name, $i)
+          if (sep) print sep
+          printf "%s", line
+          sep = ","
+        }
+      }
+    }
+    END { print "" }
+  ' "$raw"
   printf '  ]\n'
   printf '}\n'
 } > "$out"
 
-echo "wrote $out"
+echo "wrote $out ($matched benchmarks; trajectory now $(ls bench/BENCH_*.json | wc -l | tr -d ' ') points)"

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# check_determinism.sh — static lint for the determinism contract.
+#
+# The simulation packages promise bit-identical runs per seed
+# (DESIGN.md §2): all time is virtual, and nothing observable may
+# depend on Go's randomized map iteration order. This script enforces
+# the two leak classes that property tests catch only probabilistically:
+#
+#  1. Wall-clock reads. time.Now/Since/Until/Sleep have no place in
+#     the virtual-time packages — timestamps come from the engine's
+#     clock. (Benchmarks and the CLIs may read real time; they are not
+#     linted.)
+#
+#  2. Unordered map iteration. `for ... range m` over a map feeds
+#     Go's per-run random order into whatever the loop emits. Every
+#     such loop in the linted packages must either be the
+#     collect-keys-then-sort idiom (a sort within the next few lines)
+#     or carry a nearby comment marking it order-independent /
+#     sorted, so the exemption is visible at the loop.
+#
+# Scope: internal/{sim,sched,cluster,telemetry,obs}, non-test files
+# (tests may use wall clocks for timeouts and maps for assertions).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dirs="internal/sim internal/sched internal/cluster internal/telemetry internal/obs"
+status=0
+
+if out=$(grep -rn --include='*.go' -E 'time\.(Now|Since|Until|Sleep)\(' $dirs | grep -v '_test.go'); then
+  echo "check_determinism: wall-clock use in virtual-time packages:" >&2
+  echo "$out" >&2
+  status=1
+fi
+
+for f in $(find $dirs -name '*.go' ! -name '*_test.go' | sort); do
+  if ! awk '
+    {
+      lines[NR] = $0
+      line = $0
+      sub(/\/\/.*/, "", line)   # declarations inside comments do not count
+      # assignment / short-declaration of a map value
+      if (line ~ /:?= *(make\()?map\[/) {
+        n = line
+        sub(/ *:?= *(make\()?map\[.*/, "", n)
+        sub(/.*[^A-Za-z0-9_]/, "", n)
+        if (n ~ /^[A-Za-z_][A-Za-z0-9_]*$/) maps[n] = 1
+      }
+      # struct field, var decl, or parameter typed as a map
+      if (line ~ /[A-Za-z_][A-Za-z0-9_]* +map\[/) {
+        n = line
+        sub(/ +map\[.*/, "", n)
+        sub(/.*[^A-Za-z0-9_]/, "", n)
+        if (n ~ /^[A-Za-z_][A-Za-z0-9_]*$/) maps[n] = 1
+      }
+    }
+    END {
+      bad = 0
+      for (i = 1; i <= NR; i++) {
+        line = lines[i]
+        if (line !~ /for .* range /) continue
+        n = line
+        sub(/.*range +/, "", n)
+        sub(/[^A-Za-z0-9_.].*/, "", n)
+        leaf = n
+        sub(/.*\./, "", leaf)
+        if (!(leaf in maps)) continue
+        ok = 0
+        for (j = i + 1; j <= i + 6 && j <= NR; j++)
+          if (lines[j] ~ /sort\.|slices\.Sort/) ok = 1
+        for (j = (i > 3 ? i - 3 : 1); j <= i; j++)
+          if (lines[j] ~ /order-independent|sorted|stable order/) ok = 1
+        if (!ok) {
+          printf "%s:%d: range over map %s without a nearby sort or order-independent annotation\n", FILENAME, i, n
+          bad = 1
+        }
+      }
+      exit bad
+    }
+  ' "$f"; then
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "check_determinism: FAILED" >&2
+  exit 1
+fi
+echo "check_determinism: ok (no wall-clock reads, all map iterations ordered or annotated)"
