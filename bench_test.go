@@ -12,6 +12,7 @@ package micstream
 
 import (
 	"io"
+	"sync"
 	"testing"
 	"time"
 
@@ -200,6 +201,70 @@ func BenchmarkClusterAdmission(b *testing.B) {
 			b.Fatal(err)
 		}
 		jobs += len(r.Jobs)
+	}
+	if sec := inRun.Seconds(); sec > 0 {
+		b.ReportMetric(float64(jobs)/sec, "jobs/s")
+	}
+}
+
+// BenchmarkServeIngest is the service-mode admission canary: eight
+// submitter goroutines race jobs through the admission frontier of a
+// live ClusterServer and the sustained wall-clock ingest rate is
+// reported as jobs/s — the same figure cmd/micserve prints and
+// scripts/bench.sh tracks in the throughput series.
+func BenchmarkServeIngest(b *testing.B) {
+	const submitters, perG = 8, 32
+	jobs := 0
+	var inRun time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := NewCluster(
+			WithClusterDevices(2),
+			WithClusterPartitions(2),
+			WithClusterStreams(2),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := Serve(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for k := 0; k < perG; k++ {
+					id := g*perG + k
+					job := ClusterJob{
+						ID:     id,
+						Tenant: "t" + string(rune('a'+id%4)),
+						Tasks: []*Task{{
+							Cost:       KernelCost{Name: "ingest", Flops: 2e8 + 1e8*float64(id%5)},
+							StreamHint: -1,
+						}},
+						Origin: -1,
+					}
+					if _, err := srv.Submit(job); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if err := srv.Drain(time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		inRun += time.Since(start)
+		st := srv.Stats()
+		if st.Completed != submitters*perG {
+			b.Fatalf("completed %d of %d jobs", st.Completed, submitters*perG)
+		}
+		jobs += st.Completed
 	}
 	if sec := inRun.Seconds(); sec > 0 {
 		b.ReportMetric(float64(jobs)/sec, "jobs/s")

@@ -1,0 +1,97 @@
+package main
+
+// Table-driven validation of the flag matrix: every contradictory or
+// malformed combination must be refused up front with a usage error
+// (exit 2) naming the offending flag, and the legal spellings of the
+// same features must still run. The test re-executes its own binary
+// with RUN_MICCLUSTER_MAIN=1 so main() runs exactly as installed,
+// os.Exit and all.
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("RUN_MICCLUSTER_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-invokes the test binary as the command under test and
+// returns its combined output and exit code.
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "RUN_MICCLUSTER_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("exec: %v", err)
+		}
+		return string(out), ee.ExitCode()
+	}
+	return string(out), 0
+}
+
+func TestCLIFlagMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary per case")
+	}
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string // substring of the combined output
+	}{
+		// Range violations.
+		{"devices zero", []string{"-devices=0"}, 2, "-devices must be positive"},
+		{"depth zero", []string{"-depth=0"}, 2, "-depth must be positive"},
+		{"negative steal", []string{"-steal=-1ms"}, 2, "-steal must be non-negative"},
+		{"writefrac over one", []string{"-writefrac=1.5"}, 2, "-writefrac must be in [0,1]"},
+		{"spread under one", []string{"-spread=0.5"}, 2, "-spread must be at least 1"},
+		// Unknown names.
+		{"bad place", []string{"-place=bogus"}, 2, "-place:"},
+		{"bad policy", []string{"-policy=bogus"}, 2, "-policy:"},
+		{"bad arrival", []string{"-arrival=bogus"}, 2, "-arrival:"},
+		{"bad cache", []string{"-cache=bogus"}, 2, "-cache: unknown cache mode"},
+		{"origin out of range", []string{"-devices=2", "-origins=5"}, 2, "-origins:"},
+		// Contradictory combos, previously accepted and silently
+		// ignored.
+		{"cachecap without lru", []string{"-cachecap=1048576"}, 2, "-cachecap needs -cache=lru"},
+		{"writefrac without datasets", []string{"-writefrac=0.5"}, 2, "-writefrac needs -datasets"},
+		{"flight-cap without flight", []string{"-flight-cap=16"}, 2, "-flight-cap"},
+		{"jobs with compare", []string{"-jobs", "-compare"}, 2, "-jobs prints one run's lifecycles"},
+		{"jobs with scaling", []string{"-jobs", "-scaling"}, 2, "-jobs prints one run's lifecycles"},
+		{"metrics with scaling", []string{"-metrics", "-scaling"}, 2, "-metrics snapshots one scheduler run"},
+		{"trace with compare", []string{"-trace=x.json", "-compare"}, 2, "-trace records one run"},
+		{"explain with compare", []string{"-explain=0", "-compare"}, 2, "describe one run"},
+		{"explain out of range", []string{"-explain=99", "-njobs=4"}, 2, "-explain: job index 99 out of range"},
+		{"flight-p95 without flight", []string{"-flight-p95=5ms"}, 2, "-flight-p95 needs -flight"},
+		// The legal spellings still run.
+		{"bare run", []string{"-njobs=4"}, 0, "placement=predicted"},
+		{"lru with cap", []string{"-njobs=4", "-cache=lru", "-cachecap=1048576"}, 0, "residency:"},
+		{"writefrac with datasets", []string{"-njobs=4", "-cache=lru", "-datasets=2", "-writefrac=0.5"}, 0, "residency:"},
+		{"jobs alone", []string{"-njobs=4", "-jobs"}, 0, "latency"},
+		{"metrics with compare", []string{"-njobs=4", "-metrics", "-compare"}, 0, "snapshots"},
+		{"scaling", []string{"-njobs=4", "-scaling"}, 0, "multi-MIC scaling"},
+		{"list", []string{"-list"}, 0, "placements:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			out, code := runCLI(t, tc.args...)
+			if code != tc.code {
+				t.Fatalf("miccluster %v: exit %d, want %d\n%s", tc.args, code, tc.code, out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("miccluster %v: output missing %q\n%s", tc.args, tc.want, out)
+			}
+		})
+	}
+}

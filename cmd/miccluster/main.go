@@ -174,6 +174,26 @@ func main() {
 	if err != nil {
 		usageError("-origins: %v", err)
 	}
+	// Contradictory combos are command-line mistakes, not settings to
+	// silently ignore: a flag whose effect depends on a mode demands
+	// that mode, and a per-run report clashes with the multi-run views.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["cachecap"] && *cache != "lru" {
+		usageError("-cachecap needs -cache=lru (cache mode %q ignores it)", *cache)
+	}
+	if *writefrac > 0 && *datasets < 1 {
+		usageError("-writefrac needs -datasets: without shared datasets no job has a region to overwrite")
+	}
+	if explicit["flight-cap"] && *flightOut == "" {
+		usageError("-flight-cap sizes the flight-recorder ring; it needs -flight")
+	}
+	if *jobs && (*compare || *scaling) {
+		usageError("-jobs prints one run's lifecycles; drop -compare/-scaling")
+	}
+	if *metrics && *scaling {
+		usageError("-metrics snapshots one scheduler run; drop -scaling")
+	}
 	if *traceOut != "" && (*compare || *scaling) {
 		usageError("-trace records one run; drop -compare/-scaling")
 	}
@@ -302,7 +322,7 @@ func main() {
 			xfer: *xfer, origins: origin, arrival: *arrival, seed: *seed,
 			windowNs: window.Nanoseconds(), tenants: *tenants,
 		}, rec)
-		printResult(r, name, *arrival, *seed, *cache != "off", *jobs && !*compare)
+		printResult(r, name, *arrival, *seed, *cache != "off", *jobs)
 		if *metrics {
 			printMetrics(c.Metrics())
 		}

@@ -62,6 +62,8 @@ func main() {
 		usageError("-streams must be positive, got %d", *streams)
 	case *window <= 0:
 		usageError("-window must be positive, got %v", *window)
+	case *explain < -1:
+		usageError("-explain: job index must be -1 (disabled) or non-negative, got %d", *explain)
 	}
 	// Name-valued flags fail up front with a usage error instead of
 	// deep inside a run: an unknown policy, pattern or arrival process

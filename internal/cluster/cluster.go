@@ -271,7 +271,8 @@ type Cluster struct {
 	// itself stays warm across runs.
 	resStart residency.Stats
 
-	// Per-run state, reset by Run.
+	// Per-run state, reset by Run (or by NewSession, which then grows
+	// it batch by batch instead of sizing it up front).
 	queue       []*Queued
 	admitted    []*Queued // outcome index → admission record
 	outcomes    []Outcome
@@ -283,6 +284,16 @@ type Cluster struct {
 	seq         int
 	runErr      error
 	afterChange func() // test hook: runs after every dispatch loop
+
+	// onOutcome streams each job's outcome the instant it becomes
+	// terminal (completed or failed) — the Session's per-job emission
+	// channel. nil (the batch Run default) disables streaming; notified
+	// guards every emission site so no outcome is streamed twice, and
+	// nterminal counts terminal outcomes for the session's drain
+	// accounting.
+	onOutcome func(Outcome)
+	notified  []bool
+	nterminal int
 
 	// runStart anchors the run's elapsed-time accounting; linkBusy0 and
 	// kernBusy0 snapshot each device's cumulative sim.Server occupancy
@@ -528,41 +539,51 @@ func (c *Cluster) ensureStaging(n int) *hstreams.Buffer {
 	return c.stagingBuf
 }
 
+// validate rejects malformed jobs before any of them is admitted, so
+// an error leaves the cluster's state untouched. Shared by the batch
+// Run entry point and the session's per-batch Submit.
+func (c *Cluster) validate(jobs []Job) error {
+	for i := range jobs {
+		j := &jobs[i]
+		if len(j.Tasks) == 0 {
+			return fmt.Errorf("cluster: job %d (tenant %q) has no tasks", j.ID, j.Tenant)
+		}
+		for k, task := range j.Tasks {
+			if task == nil {
+				return fmt.Errorf("cluster: job %d (tenant %q) has nil task %d", j.ID, j.Tenant, k)
+			}
+		}
+		if j.Arrival < 0 {
+			return fmt.Errorf("cluster: job %d has negative arrival %v", j.ID, j.Arrival)
+		}
+		if j.Origin >= len(c.scheds) {
+			return fmt.Errorf("cluster: job %d origin device %d out of range [0,%d)", j.ID, j.Origin, len(c.scheds))
+		}
+		if j.StagingBytes < 0 {
+			return fmt.Errorf("cluster: job %d has negative staging volume %d", j.ID, j.StagingBytes)
+		}
+		if err := residency.Validate(j.Reads); err != nil {
+			return fmt.Errorf("cluster: job %d reads: %w", j.ID, err)
+		}
+		if err := residency.Validate(j.Writes); err != nil {
+			return fmt.Errorf("cluster: job %d writes: %w", j.ID, err)
+		}
+		if c.sliceMax > 0 {
+			if err := sched.Sliceable(j.Tasks); err != nil {
+				return fmt.Errorf("cluster: job %d (tenant %q): %w", j.ID, j.Tenant, err)
+			}
+		}
+	}
+	return nil
+}
+
 // Run admits every job at its arrival time, places them under the
 // configured policy until all complete, and returns the per-job,
 // per-device and per-tenant accounting. Arrival times earlier than the
 // context's current virtual time clamp to it.
 func (c *Cluster) Run(jobs []Job) (*Result, error) {
-	for i := range jobs {
-		j := &jobs[i]
-		if len(j.Tasks) == 0 {
-			return nil, fmt.Errorf("cluster: job %d (tenant %q) has no tasks", j.ID, j.Tenant)
-		}
-		for k, task := range j.Tasks {
-			if task == nil {
-				return nil, fmt.Errorf("cluster: job %d (tenant %q) has nil task %d", j.ID, j.Tenant, k)
-			}
-		}
-		if j.Arrival < 0 {
-			return nil, fmt.Errorf("cluster: job %d has negative arrival %v", j.ID, j.Arrival)
-		}
-		if j.Origin >= len(c.scheds) {
-			return nil, fmt.Errorf("cluster: job %d origin device %d out of range [0,%d)", j.ID, j.Origin, len(c.scheds))
-		}
-		if j.StagingBytes < 0 {
-			return nil, fmt.Errorf("cluster: job %d has negative staging volume %d", j.ID, j.StagingBytes)
-		}
-		if err := residency.Validate(j.Reads); err != nil {
-			return nil, fmt.Errorf("cluster: job %d reads: %w", j.ID, err)
-		}
-		if err := residency.Validate(j.Writes); err != nil {
-			return nil, fmt.Errorf("cluster: job %d writes: %w", j.ID, err)
-		}
-		if c.sliceMax > 0 {
-			if err := sched.Sliceable(j.Tasks); err != nil {
-				return nil, fmt.Errorf("cluster: job %d (tenant %q): %w", j.ID, j.Tenant, err)
-			}
-		}
+	if err := c.validate(jobs); err != nil {
+		return nil, err
 	}
 	for _, s := range c.scheds {
 		s.Reset()
@@ -577,6 +598,9 @@ func (c *Cluster) Run(jobs []Job) (*Result, error) {
 	c.queue = nil
 	c.admitted = make([]*Queued, len(jobs))
 	c.outcomes = make([]Outcome, len(jobs))
+	c.notified = make([]bool, len(jobs))
+	c.nterminal = 0
+	c.onOutcome = nil
 	c.submitted = make([][]int, len(c.scheds))
 	c.runFlops = 0
 	for i := range jobs {
@@ -645,6 +669,23 @@ func (c *Cluster) Run(jobs []Job) (*Result, error) {
 	return c.summarize(runStart), nil
 }
 
+// emitOutcome streams outcome idx to the session's per-job sink the
+// instant it becomes terminal. The notified guard makes the emission
+// exactly-once no matter which failure path marked the job (admission
+// after an error, a stranded cluster queue, a device abort), and the
+// terminal counter feeds the session's drain accounting whether or not
+// a sink is attached.
+func (c *Cluster) emitOutcome(idx int) {
+	if c.notified == nil || c.notified[idx] {
+		return
+	}
+	c.notified[idx] = true
+	c.nterminal++
+	if c.onOutcome != nil {
+		c.onOutcome(c.outcomes[idx])
+	}
+}
+
 // admit enqueues one arriving job and runs the placement loop.
 // Arrivals after a placement error are recorded as failed outcomes
 // rather than dropped.
@@ -674,6 +715,7 @@ func (c *Cluster) admit(job *Job, idx int) {
 			c.tel.Emit(telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Fail,
 				Job: idx, ID: job.ID, Tenant: tenantOf(job), Device: -1, From: -1, Stream: -1})
 		}
+		c.emitOutcome(idx)
 		return
 	}
 	q := &Queued{Job: job, Est: est, Seq: c.seq, idx: idx, dev: -1, devIdx: -1,
@@ -704,6 +746,7 @@ func (c *Cluster) fail(err error) {
 			c.tel.Emit(telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Fail,
 				Job: q.idx, ID: q.Job.ID, Tenant: tenantOf(q.Job), Device: -1, From: -1, Stream: -1})
 		}
+		c.emitOutcome(q.idx)
 	}
 }
 
@@ -901,6 +944,7 @@ func (c *Cluster) route(q *Queued, dev int) {
 			c.tel.Emit(telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Fail,
 				Job: idx, ID: job.ID, Tenant: tenantOf(job), Device: dev, From: -1, Stream: -1})
 		}
+		c.emitOutcome(idx)
 		c.fail(fmt.Errorf("cluster: job %d on device %d: %w", job.ID, dev, err))
 		return
 	}
@@ -946,6 +990,7 @@ func (c *Cluster) jobDone(dev int, o sched.JobOutcome) {
 			c.resident.Rollback(c.admitted[idx].rcpt)
 		}
 		out.Failed = true
+		c.emitOutcome(idx)
 		if err := c.scheds[dev].Err(); err != nil && c.runErr == nil {
 			c.fail(err)
 		}
@@ -961,6 +1006,7 @@ func (c *Cluster) jobDone(dev int, o sched.JobOutcome) {
 	out.Slices += o.Slices
 	out.Done = o.Done
 	c.done++
+	c.emitOutcome(idx)
 	if c.runErr != nil {
 		return
 	}

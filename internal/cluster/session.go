@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"fmt"
+
+	"micstream/internal/sim"
+)
+
+// Session is the cluster's embedded service mode: a persistent run
+// that accepts batched admissions at epoch boundaries instead of one
+// job slice up front, and streams each job's Outcome the instant it
+// completes instead of accumulating a terminal Result.
+//
+// The epoch protocol (DESIGN.md §15): the engine quiescing — no
+// pending events — is an epoch *boundary*, not completion. Between
+// boundaries the session behaves exactly like a batch Run over the
+// jobs admitted so far; at a boundary the owner may Submit another
+// batch and RunEpoch again. Device schedulers, the placement policy,
+// the steal model and the residency cache all stay warm across
+// epochs — a repeated dataset admitted in epoch k runs against the
+// tiles epoch k-1 staged, which is the whole point of a long-running
+// server over repeated batch runs.
+//
+// Determinism survives service mode because wall-clock time never
+// crosses this boundary: callers race only over *which batch* a job
+// lands in (the serve layer's admission frontier), and a given batch
+// sequence replays bit-identically — every admitted job's arrival is
+// the virtual instant of its epoch boundary, and everything after
+// admission is the same deterministic event cascade as a batch run
+// (DESIGN.md §6).
+//
+// A Session borrows its Cluster exclusively: interleaving Run calls
+// or a second session with an open session corrupts both. Close the
+// session (or just abandon it) and the cluster is reusable — Run
+// resets everything a session touched.
+type Session struct {
+	c        *Cluster
+	runStart sim.Time
+	total    int
+	epochs   int
+	running  bool
+	closed   bool
+}
+
+// NewSession opens service mode on the cluster: resets the per-run
+// state exactly like Run, then leaves the session open for batched
+// Submit/RunEpoch cycles. onOutcome (optional) receives every job's
+// terminal Outcome — completed or failed — exactly once, in virtual
+// completion order, from inside the engine's event cascade; it must
+// not call back into the session or the cluster.
+func (c *Cluster) NewSession(onOutcome func(Outcome)) (*Session, error) {
+	for _, s := range c.scheds {
+		s.Reset()
+	}
+	if b, ok := c.place.(clusterBinder); ok {
+		b.bind(c)
+	}
+	if r, ok := c.place.(resetter); ok {
+		r.reset()
+	}
+	c.bindStealModel()
+	c.queue = nil
+	c.admitted = nil
+	c.outcomes = nil
+	c.notified = nil
+	c.nterminal = 0
+	c.onOutcome = onOutcome
+	c.submitted = make([][]int, len(c.scheds))
+	c.runFlops = 0
+	c.done = 0
+	c.steals = 0
+	c.preempts = 0
+	c.seq = 0
+	c.runErr = nil
+	if c.resident != nil {
+		c.resStart = c.resident.Stats()
+	}
+	c.linkBusy0 = make([]sim.Duration, len(c.scheds))
+	c.kernBusy0 = make([]sim.Duration, len(c.scheds))
+	c.telStaged = make([]int64, len(c.scheds))
+	c.telHit, c.telMiss = 0, 0
+	for d := range c.scheds {
+		c.linkBusy0[d] = c.ctx.Link(d).TotalBusy()
+		c.kernBusy0[d] = c.kernelBusy(d)
+	}
+	if c.tel.Enabled() {
+		c.tenantLat = make(map[string]*tenantAccum)
+		c.tenantSeen = nil
+	}
+	return &Session{c: c, runStart: c.ctx.Engine().Now()}, nil
+}
+
+// Submit admits one batch at the current epoch boundary and returns
+// the cluster index of the batch's first job (indices run densely
+// across the session, so batch job i is outcome base+i). Every job's
+// arrival clamps to the boundary's virtual instant — the session's
+// clock, not the caller's. The batch is copied; the caller may reuse
+// the slice. Several batches may stack at one boundary (each keeps
+// admission order); submitting mid-epoch — from inside an onOutcome
+// callback while RunEpoch is live — or after a scheduling error is
+// rejected without admitting anything.
+func (s *Session) Submit(jobs []Job) (base int, err error) {
+	if s.closed {
+		return 0, fmt.Errorf("cluster: session is closed")
+	}
+	if s.running {
+		return 0, fmt.Errorf("cluster: session submit mid-epoch")
+	}
+	if s.c.runErr != nil {
+		return 0, fmt.Errorf("cluster: session failed: %w", s.c.runErr)
+	}
+	if err := s.c.validate(jobs); err != nil {
+		return 0, err
+	}
+	eng := s.c.ctx.Engine()
+	batch := append([]Job(nil), jobs...)
+	base = len(s.c.outcomes)
+	s.c.outcomes = append(s.c.outcomes, make([]Outcome, len(batch))...)
+	s.c.admitted = append(s.c.admitted, make([]*Queued, len(batch))...)
+	s.c.notified = append(s.c.notified, make([]bool, len(batch))...)
+	now := eng.Now()
+	for i := range batch {
+		job := &batch[i]
+		for _, t := range job.Tasks {
+			if !t.TransferOnly {
+				s.c.runFlops += t.Cost.Flops
+			}
+		}
+		idx := base + i
+		at := job.Arrival
+		if at < now {
+			at = now
+		}
+		eng.At(at, func() { s.c.admit(job, idx) })
+	}
+	s.total += len(batch)
+	return base, nil
+}
+
+// RunEpoch drives the engine to the next quiescent boundary, draining
+// every job admitted so far (outcomes stream to the session's sink as
+// they complete). It returns how many jobs reached a terminal state
+// this epoch and the session's first scheduling error, if any; after
+// an error the remaining outcomes have already streamed as Failed and
+// the session accepts no further batches.
+func (s *Session) RunEpoch() (completed int, err error) {
+	if s.closed {
+		return 0, fmt.Errorf("cluster: session is closed")
+	}
+	before := s.c.nterminal
+	s.running = true
+	s.c.ctx.Engine().Run()
+	s.running = false
+	s.epochs++
+	if s.c.runErr == nil {
+		for _, sc := range s.c.scheds {
+			if err := sc.Err(); err != nil {
+				s.c.runErr = err
+				break
+			}
+		}
+	}
+	if s.c.runErr == nil && s.c.nterminal != s.total {
+		s.c.runErr = fmt.Errorf("cluster: internal error: %d of %d jobs terminal at epoch boundary", s.c.nterminal, s.total)
+	}
+	return s.c.nterminal - before, s.c.runErr
+}
+
+// Now reports the session's virtual clock.
+func (s *Session) Now() sim.Time { return s.c.ctx.Now() }
+
+// Epochs reports how many RunEpoch calls have completed.
+func (s *Session) Epochs() int { return s.epochs }
+
+// Submitted reports the total jobs admitted across every batch.
+func (s *Session) Submitted() int { return s.total }
+
+// Terminal reports how many jobs have reached a terminal outcome.
+func (s *Session) Terminal() int { return s.c.nterminal }
+
+// Pending reports admitted jobs not yet terminal — zero at every
+// epoch boundary of a healthy session.
+func (s *Session) Pending() int { return s.total - s.c.nterminal }
+
+// Err reports the session's first scheduling error, if any.
+func (s *Session) Err() error { return s.c.runErr }
+
+// Outcome returns terminal outcome idx (a Submit base plus the job's
+// batch offset); ok is false while the job is still in flight.
+func (s *Session) Outcome(idx int) (o Outcome, ok bool) {
+	if idx < 0 || idx >= len(s.c.outcomes) || !s.c.notified[idx] {
+		return Outcome{}, false
+	}
+	return s.c.outcomes[idx], true
+}
+
+// Result summarizes everything the session has run so far — the same
+// aggregate accounting a batch Run returns, computed over all epochs.
+// Valid at any epoch boundary; the session stays open.
+func (s *Session) Result() *Result {
+	return s.c.summarize(s.runStart)
+}
+
+// Close ends the session. The cluster is reusable afterwards (Run
+// resets all session state); the session itself rejects further use.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.c.onOutcome = nil
+}

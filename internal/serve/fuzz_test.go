@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"micstream/internal/cluster"
+	"micstream/internal/schedtest"
+	"micstream/internal/sim"
+)
+
+// FuzzFrontier drives random interleavings of concurrent submits,
+// malformed submits, subscription churn and racing drains against the
+// admission frontier, asserting the no-loss/no-duplication contract:
+// every successfully admitted job completes exactly once with a sane
+// lifecycle, every other submit reports a clean error, and the final
+// drain always converges.
+func FuzzFrontier(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4})
+	f.Add([]byte{0, 5, 0, 5, 0})
+	f.Add([]byte{6, 0, 6, 0, 5, 0})
+	f.Add([]byte{5})
+	f.Add([]byte{7, 0, 7, 0, 0, 0, 5, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		s, err := New(newCluster(t), WithQueueCap(8), WithBatchCap(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := s.Subscribe()
+		var wg sync.WaitGroup
+		var landed int64
+		for i, op := range ops {
+			id := i
+			switch op % 8 {
+			case 5: // racing drain
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := s.Drain(30 * time.Second); err != nil {
+						t.Error(err)
+					}
+				}()
+			case 6: // malformed job: rejected or stopped, never admitted
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := s.Submit(cluster.Job{ID: id}); err == nil {
+						t.Error("taskless job admitted")
+					}
+				}()
+			case 7: // subscription churn
+				s.Subscribe().Cancel()
+			default: // submit
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					switch _, err := s.Submit(ingestJob(id)); err {
+					case nil:
+						atomic.AddInt64(&landed, 1)
+					case ErrStopped:
+					default:
+						t.Error(err)
+					}
+				}()
+			}
+		}
+		wg.Wait()
+		if err := s.Drain(30 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		outs := drainAll(sub)
+		spans := make([]schedtest.Span, len(outs))
+		for i, o := range outs {
+			if o.Failed {
+				t.Fatalf("job %d failed: %v", o.ID, s.Err())
+			}
+			spans[i] = schedtest.Span{
+				ID: o.ID, Index: o.Index, Stream: o.Stream,
+				Marks: []sim.Time{o.Arrival, o.Placed, o.Start, o.Done},
+			}
+		}
+		schedtest.UniqueCompletion(t, "frontier", spans, int(atomic.LoadInt64(&landed)),
+			[]string{"arrival", "placed", "start", "done"})
+	})
+}

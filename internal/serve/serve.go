@@ -1,0 +1,601 @@
+// Package serve turns the batch cluster into a long-running service:
+// a Server owns a persistent cluster.Session and ingests jobs
+// concurrently from many goroutines through a channel-based admission
+// frontier, batching whatever has arrived by each epoch boundary into
+// the next admitted batch.
+//
+// This is the one layer of the system where wall-clock time exists,
+// and it crosses exactly one boundary: *which batch a job lands in*.
+// Submitters race in real time for a slot in the next batch; from the
+// admission instant on, everything is the deterministic virtual-time
+// cascade of DESIGN.md §6 — the session admits each batch at the
+// epoch boundary's virtual instant and runs the engine to quiescence,
+// so a recorded batch sequence (Batches) replayed single-threaded
+// through Replay reproduces the server's outcome stream bit for bit
+// (DESIGN.md §15). That invariant is what makes a concurrent-ingest
+// server debuggable: any live incident is a saved []Batch away from a
+// deterministic reproduction.
+//
+// The frontier also keeps the no-loss/no-duplication contract under
+// racing drains: Submit holds an in-flight guard while it hands its
+// job to the run loop, Drain refuses new entries and waits for the
+// in-flight count to reach zero before signalling the loop, and the
+// loop then empties the frontier into final epochs before exiting —
+// every job either receives a cluster index and a terminal Outcome,
+// or its Submit returns ErrStopped having admitted nothing.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"micstream/internal/cluster"
+	"micstream/internal/obs"
+	"micstream/internal/telemetry"
+)
+
+// ErrStopped is returned by Submit once a drain has begun: the job
+// was not admitted and never will be.
+var ErrStopped = errors.New("serve: server is draining")
+
+// Batch is one epoch boundary's admitted jobs, in admission order —
+// the unit of the recorded ingest sequence Replay consumes.
+type Batch struct {
+	// Jobs holds the admitted job specs exactly as the session saw
+	// them (arrivals zeroed: a service-mode job arrives at its epoch
+	// boundary, not at a caller-chosen virtual instant).
+	Jobs []cluster.Job
+}
+
+// Stats is a point-in-time snapshot of the server's ingest counters.
+type Stats struct {
+	// Submitted and Completed count jobs admitted and jobs terminal
+	// (completed or failed).
+	Submitted, Completed int
+	// Epochs counts admitted batches (each ran one engine epoch).
+	Epochs int
+	// Elapsed is wall-clock time since the server started.
+	Elapsed time.Duration
+	// JobsPerSec is the sustained ingest rate: Completed over Elapsed.
+	JobsPerSec float64
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithQueueCap sets the admission frontier's channel capacity
+// (default 256): how many jobs may sit between the submitters and the
+// run loop before Submit blocks.
+func WithQueueCap(n int) Option {
+	return func(s *Server) { s.queueCap = n }
+}
+
+// WithBatchCap caps how many jobs one epoch admits (default
+// unbounded): a full frontier splits into successive epochs instead
+// of one giant batch.
+func WithBatchCap(n int) Option {
+	return func(s *Server) { s.batchCap = n }
+}
+
+// WithExporter attaches the OpenMetrics exporter so every
+// drain-instant snapshot is exposed live on the server's /metrics
+// endpoint. Requires a cluster built WithTelemetry.
+func WithExporter(x *obs.Exporter) Option {
+	return func(s *Server) { s.exporter = x }
+}
+
+// WithFlight attaches the flight recorder so anomaly dumps (job
+// failures, tenant p95 breaches) accumulate live and are exposed on
+// /flight. Requires a cluster built WithTelemetry. The recorder is
+// not itself thread-safe; the server serializes scheduler-side writes
+// against HTTP-side reads.
+func WithFlight(f *obs.FlightRecorder) Option {
+	return func(s *Server) { s.flight = f }
+}
+
+// submitReq is one job crossing the frontier, with the reply channel
+// its submitter blocks on.
+type submitReq struct {
+	job   cluster.Job
+	reply chan submitRes
+}
+
+type submitRes struct {
+	idx int
+	err error
+}
+
+// Server is the long-running service: one goroutine (the run loop)
+// owns the cluster session and the virtual clock; any number of
+// goroutines submit through the frontier and consume subscriptions.
+type Server struct {
+	c        *cluster.Cluster
+	sess     *cluster.Session
+	queueCap int
+	batchCap int
+	exporter *obs.Exporter
+	flight   *obs.FlightRecorder
+
+	frontier chan submitReq
+	stop     chan struct{} // closed by Drain once no submitter is in flight
+	stopOnce sync.Once
+	loopDone chan struct{} // closed when the run loop has exited
+
+	// gate serializes Submit entries against the drain decision: a
+	// drain only signals the run loop after every in-flight Submit has
+	// finished handing its job to the frontier, so the final backlog
+	// sweep cannot race a send.
+	gate       sync.Mutex
+	inflight   int
+	stopping   bool
+	idle       chan struct{} // closed when stopping && inflight == 0
+	idleClosed bool
+
+	// flightMu serializes the run loop's flight-recorder writes
+	// against HTTP reads (obs.FlightRecorder is not thread-safe).
+	flightMu sync.Mutex
+
+	// subMu guards the subscriber set and the recorded batches; both
+	// are written by the run loop and read from caller goroutines.
+	subMu      sync.Mutex
+	subs       []*Subscription
+	subsClosed bool
+	batches    []Batch
+
+	// statMu guards the ingest counters behind Stats.
+	statMu    sync.Mutex
+	submitted int
+	completed int
+	start     time.Time
+
+	runErr error // session error; written by the run loop, read after loopDone
+}
+
+// New opens a session on the cluster and starts the run loop. The
+// cluster is borrowed exclusively until Drain returns — calling Run
+// on it, or touching its schedulers, corrupts the service.
+func New(c *cluster.Cluster, opts ...Option) (*Server, error) {
+	if c == nil {
+		return nil, fmt.Errorf("serve: nil cluster")
+	}
+	s := &Server{
+		c:        c,
+		queueCap: 256,
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		idle:     make(chan struct{}),
+		start:    time.Now(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.queueCap < 1 {
+		return nil, fmt.Errorf("serve: queue capacity %d must be positive", s.queueCap)
+	}
+	if s.batchCap < 0 {
+		return nil, fmt.Errorf("serve: negative batch cap %d", s.batchCap)
+	}
+	if (s.exporter != nil || s.flight != nil) && !c.Telemetry().Enabled() {
+		return nil, fmt.Errorf("serve: metrics/flight require a cluster built WithTelemetry")
+	}
+	if s.exporter != nil || s.flight != nil {
+		x, f, rec := s.exporter, s.flight, c.Telemetry()
+		if f != nil {
+			rec.SetOnEvent(func(e telemetry.Event) {
+				s.flightMu.Lock()
+				f.OnEvent(e)
+				s.flightMu.Unlock()
+			})
+		}
+		rec.SetOnMetrics(func(m telemetry.MetricsSnapshot) {
+			if x != nil {
+				x.Observe(m)
+			}
+			if f != nil {
+				s.flightMu.Lock()
+				f.OnMetrics(m)
+				s.flightMu.Unlock()
+			}
+		})
+	}
+	s.frontier = make(chan submitReq, s.queueCap)
+	sess, err := c.NewSession(s.fanout)
+	if err != nil {
+		return nil, err
+	}
+	s.sess = sess
+	go s.loop()
+	return s, nil
+}
+
+// Submit hands one job to the admission frontier and blocks until the
+// run loop admits it into an epoch, returning the job's cluster index
+// (the key its Outcome carries in the subscription stream). The job's
+// Arrival is ignored: service-mode jobs arrive at the epoch boundary
+// that admits them. Safe for any number of concurrent callers; after
+// a drain has begun it returns ErrStopped without admitting.
+func (s *Server) Submit(job cluster.Job) (int, error) {
+	if !s.enter() {
+		return 0, ErrStopped
+	}
+	reply := make(chan submitRes, 1)
+	s.frontier <- submitReq{job: job, reply: reply}
+	s.exit()
+	res := <-reply
+	return res.idx, res.err
+}
+
+func (s *Server) enter() bool {
+	s.gate.Lock()
+	defer s.gate.Unlock()
+	if s.stopping {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *Server) exit() {
+	s.gate.Lock()
+	s.inflight--
+	if s.stopping && s.inflight == 0 && !s.idleClosed {
+		s.idleClosed = true
+		close(s.idle)
+	}
+	s.gate.Unlock()
+}
+
+// loop is the run loop: gather a batch from the frontier, admit it at
+// the current epoch boundary, run the epoch to quiescence (outcomes
+// fan out from inside the cascade), repeat. On stop it sweeps the
+// remaining backlog into final epochs and closes the subscriptions.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	defer s.closeSubs()
+	for {
+		var batch []submitReq
+		select {
+		case req := <-s.frontier:
+			batch = append(batch, req)
+		case <-s.stop:
+			// No submitter is mid-send anymore (Drain waited out the
+			// in-flight count), so the frontier holds a finite
+			// backlog: sweep it into final epochs and exit.
+			for {
+				select {
+				case req := <-s.frontier:
+					batch = append(batch, req)
+					if s.batchCap > 0 && len(batch) >= s.batchCap {
+						s.runBatch(batch)
+						batch = nil
+					}
+				default:
+					if len(batch) > 0 {
+						s.runBatch(batch)
+					}
+					return
+				}
+			}
+		}
+		// Opportunistic gather: whatever else already crossed the
+		// frontier joins this epoch, up to the batch cap.
+	gather:
+		for s.batchCap == 0 || len(batch) < s.batchCap {
+			select {
+			case req := <-s.frontier:
+				batch = append(batch, req)
+			default:
+				break gather
+			}
+		}
+		s.runBatch(batch)
+	}
+}
+
+// runBatch admits one gathered batch at the current epoch boundary,
+// replies to every submitter with its cluster index, records the
+// admitted jobs for replay, and runs the epoch.
+func (s *Server) runBatch(reqs []submitReq) {
+	jobs := make([]cluster.Job, len(reqs))
+	for i, r := range reqs {
+		jobs[i] = r.job
+		jobs[i].Arrival = 0 // arrivals are the boundary's virtual instant
+	}
+	admitted := 0
+	if base, err := s.sess.Submit(jobs); err == nil {
+		s.record(Batch{Jobs: jobs})
+		admitted = len(jobs)
+		for i, r := range reqs {
+			r.reply <- submitRes{idx: base + i}
+		}
+	} else {
+		// The batch failed as a unit (one malformed job rejects a
+		// whole Submit). Fall back to per-job admission — batches
+		// stack at one boundary — so innocent jobs still land and the
+		// bad ones carry their own error back to their submitters.
+		kept := make([]cluster.Job, 0, len(jobs))
+		for i, r := range reqs {
+			base, jerr := s.sess.Submit(jobs[i : i+1])
+			if jerr != nil {
+				r.reply <- submitRes{err: jerr}
+				continue
+			}
+			kept = append(kept, jobs[i])
+			r.reply <- submitRes{idx: base}
+		}
+		if len(kept) == 0 {
+			return
+		}
+		s.record(Batch{Jobs: kept})
+		admitted = len(kept)
+	}
+	s.statMu.Lock()
+	s.submitted += admitted
+	s.statMu.Unlock()
+	if _, err := s.sess.RunEpoch(); err != nil && s.runErr == nil {
+		s.runErr = err
+	}
+}
+
+// fanout is the session's outcome sink: it runs on the run-loop
+// goroutine, inside the engine's event cascade, and must never block
+// — subscriptions buffer without bound and readers catch up on their
+// own time.
+func (s *Server) fanout(o cluster.Outcome) {
+	s.statMu.Lock()
+	s.completed++
+	s.statMu.Unlock()
+	s.subMu.Lock()
+	for _, sub := range s.subs {
+		sub.push(o)
+	}
+	s.subMu.Unlock()
+}
+
+func (s *Server) record(b Batch) {
+	s.subMu.Lock()
+	s.batches = append(s.batches, b)
+	s.subMu.Unlock()
+}
+
+// Subscribe registers an outcome stream: every job outcome terminal
+// after this call is delivered, in virtual completion order. The
+// subscription buffers without bound (a slow reader delays nobody);
+// Next reports exhaustion after the server drains.
+func (s *Server) Subscribe() *Subscription {
+	sub := &Subscription{notify: make(chan struct{}, 1)}
+	s.subMu.Lock()
+	if s.subsClosed {
+		sub.closed = true
+	} else {
+		s.subs = append(s.subs, sub)
+	}
+	s.subMu.Unlock()
+	return sub
+}
+
+func (s *Server) closeSubs() {
+	s.subMu.Lock()
+	s.subsClosed = true
+	subs := s.subs
+	s.subMu.Unlock()
+	for _, sub := range subs {
+		sub.close()
+	}
+}
+
+// Batches returns the recorded admission sequence so far: one Batch
+// per epoch, in epoch order. Feeding it to Replay on an identically
+// configured cluster reproduces the outcome stream bit for bit.
+func (s *Server) Batches() []Batch {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	out := make([]Batch, len(s.batches))
+	copy(out, s.batches)
+	return out
+}
+
+// Stats snapshots the ingest counters.
+func (s *Server) Stats() Stats {
+	s.statMu.Lock()
+	submitted, completed := s.submitted, s.completed
+	start := s.start
+	s.statMu.Unlock()
+	s.subMu.Lock()
+	epochs := len(s.batches)
+	s.subMu.Unlock()
+	st := Stats{
+		Submitted: submitted,
+		Completed: completed,
+		Epochs:    epochs,
+		Elapsed:   time.Since(start),
+	}
+	if secs := st.Elapsed.Seconds(); secs > 0 {
+		st.JobsPerSec = float64(completed) / secs
+	}
+	return st
+}
+
+// Drain stops admission and waits for the server to go quiet: no new
+// Submit may enter, every in-flight Submit finishes handing over its
+// job, the run loop sweeps the frontier backlog into final epochs,
+// streams the last outcomes, closes the subscriptions and exits. The
+// deadline bounds each wait; on timeout the server keeps draining in
+// the background and a later Drain call can re-await it. Idempotent;
+// returns the session's first scheduling error, if any.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.gate.Lock()
+	if !s.stopping {
+		s.stopping = true
+		if s.inflight == 0 && !s.idleClosed {
+			s.idleClosed = true
+			close(s.idle)
+		}
+	}
+	s.gate.Unlock()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	select {
+	case <-s.idle:
+	case <-deadline.C:
+		return fmt.Errorf("serve: drain deadline exceeded waiting for in-flight submitters")
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	select {
+	case <-s.loopDone:
+	case <-deadline.C:
+		return fmt.Errorf("serve: drain deadline exceeded waiting for the backlog to finish")
+	}
+	return s.runErr
+}
+
+// Result summarizes everything the server ran — the same aggregate
+// accounting a batch Run returns, over all epochs. Only valid after
+// Drain has completed (the run loop owns the session until then).
+func (s *Server) Result() (*cluster.Result, error) {
+	select {
+	case <-s.loopDone:
+	default:
+		return nil, fmt.Errorf("serve: result requires a completed drain")
+	}
+	return s.sess.Result(), s.runErr
+}
+
+// Err reports the session's first scheduling error, if any. Only
+// meaningful after Drain.
+func (s *Server) Err() error {
+	select {
+	case <-s.loopDone:
+		return s.runErr
+	default:
+		return nil
+	}
+}
+
+// Handler serves the live observability surface: /metrics (OpenMetrics
+// exposition, when WithExporter), /flight (flight-recorder dumps, when
+// WithFlight) and /stats (ingest counters, plain text).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	if s.exporter != nil {
+		mux.Handle("/metrics", s.exporter)
+	}
+	if s.flight != nil {
+		mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			s.flightMu.Lock()
+			defer s.flightMu.Unlock()
+			if err := s.flight.WriteText(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		st := s.Stats()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "submitted %d\ncompleted %d\nepochs %d\nelapsed_seconds %.3f\njobs_per_sec %.1f\n",
+			st.Submitted, st.Completed, st.Epochs, st.Elapsed.Seconds(), st.JobsPerSec)
+	})
+	return mux
+}
+
+// ListenAndServe serves Handler on addr; it blocks like
+// http.ListenAndServe.
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s.Handler())
+}
+
+// Replay runs a recorded admission sequence single-threaded on a
+// fresh, identically configured cluster: one Submit+RunEpoch per
+// batch, outcomes streaming to onOutcome (optional) exactly as the
+// live server emitted them. This is the determinism contract of
+// DESIGN.md §15 — wall clock picks the batches, virtual time does
+// everything else, so the replayed outcome stream is bit-identical to
+// the server's.
+func Replay(c *cluster.Cluster, batches []Batch, onOutcome func(cluster.Outcome)) (*cluster.Result, error) {
+	sess, err := c.NewSession(onOutcome)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	for i, b := range batches {
+		if _, err := sess.Submit(b.Jobs); err != nil {
+			return sess.Result(), fmt.Errorf("serve: replay batch %d: %w", i, err)
+		}
+		if _, err := sess.RunEpoch(); err != nil {
+			return sess.Result(), fmt.Errorf("serve: replay epoch %d: %w", i, err)
+		}
+	}
+	return sess.Result(), nil
+}
+
+// Subscription is one subscriber's outcome stream. It buffers without
+// bound so the engine's cascade never blocks on a slow reader.
+type Subscription struct {
+	mu     sync.Mutex
+	buf    []cluster.Outcome
+	closed bool
+	notify chan struct{}
+}
+
+func (sub *Subscription) push(o cluster.Outcome) {
+	sub.mu.Lock()
+	if sub.closed {
+		sub.mu.Unlock()
+		return
+	}
+	sub.buf = append(sub.buf, o)
+	sub.mu.Unlock()
+	select {
+	case sub.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (sub *Subscription) close() {
+	sub.mu.Lock()
+	sub.closed = true
+	sub.mu.Unlock()
+	select {
+	case sub.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next blocks for the next outcome; ok is false once the server has
+// drained and the buffered stream is exhausted (or the subscription
+// was cancelled).
+func (sub *Subscription) Next() (o cluster.Outcome, ok bool) {
+	for {
+		sub.mu.Lock()
+		if len(sub.buf) > 0 {
+			o = sub.buf[0]
+			sub.buf = sub.buf[1:]
+			sub.mu.Unlock()
+			return o, true
+		}
+		if sub.closed {
+			sub.mu.Unlock()
+			return cluster.Outcome{}, false
+		}
+		sub.mu.Unlock()
+		<-sub.notify
+	}
+}
+
+// Drain takes every currently buffered outcome without blocking.
+func (sub *Subscription) Drain() []cluster.Outcome {
+	sub.mu.Lock()
+	out := sub.buf
+	sub.buf = nil
+	sub.mu.Unlock()
+	return out
+}
+
+// Cancel detaches the subscription: buffered outcomes remain readable,
+// new ones are dropped, and Next reports exhaustion once the buffer
+// empties.
+func (sub *Subscription) Cancel() { sub.close() }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -14,24 +13,67 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
+// eventHeap is a min-heap ordered by (at, seq), maintained by the
+// hand-rolled sift routines below instead of container/heap: the
+// standard interface forces every Push and Pop through an interface{}
+// box, which allocates one event-sized heap object per scheduled
+// event. In service mode the engine is a steady-state hot loop that
+// schedules and dispatches events forever, so the heap operates
+// in-place on the backing array — once the array has grown to the
+// session's high-water mark, scheduling is allocation-free
+// (DESIGN.md §15; BenchmarkEngineSteadyState guards this).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push appends ev and restores the heap order (sift-up).
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event (sift-down). The vacated
+// slot's callback is cleared so the backing array does not pin the
+// closure (and whatever it captures) until the slot is overwritten.
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	ev := q[0]
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return ev
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe
@@ -60,6 +102,20 @@ func (e *Engine) Steps() uint64 { return e.nsteps }
 // Pending reports the number of scheduled-but-undelivered events.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// Quiescent reports whether no events remain — the epoch boundary of a
+// long-running session: an engine driven by a persistent server is
+// quiescent between ingest batches, not finished (DESIGN.md §15).
+func (e *Engine) Quiescent() bool { return len(e.heap) == 0 }
+
+// NextAt reports the timestamp of the earliest pending event; ok is
+// false when the engine is quiescent.
+func (e *Engine) NextAt() (at Time, ok bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
 // At schedules fn to run at the given virtual time. Scheduling in the
 // past is a programming error in the platform layers and panics, since
 // a causality violation would silently corrupt every measurement.
@@ -68,7 +124,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+	e.heap.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -85,7 +141,7 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
+	ev := e.heap.pop()
 	e.now = ev.at
 	e.nsteps++
 	ev.fn()
@@ -96,6 +152,27 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run() {
 	for e.Step() {
 	}
+}
+
+// StepUntil dispatches every event scheduled at or before t (including
+// events those dispatches schedule inside the window) and then advances
+// the clock to t, reporting how many events ran. A t at or before the
+// current time dispatches nothing and leaves the clock alone. This is
+// the incremental session form of Run: a persistent server steps the
+// engine epoch by epoch instead of running it to exhaustion, and the
+// clock landing exactly on the boundary keeps successive epochs'
+// admission instants deterministic (DESIGN.md §15).
+func (e *Engine) StepUntil(t Time) int {
+	if t <= e.now {
+		return 0
+	}
+	n := 0
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+		n++
+	}
+	e.now = t
+	return n
 }
 
 // RunUntil dispatches events until done reports true or no events

@@ -16,9 +16,11 @@
 # The point carries two views: "benchmarks", every benchmark's own
 # metrics (ns/op becomes ns_per_op, jobs/s becomes jobs_per_s, any
 # other metric follows the same slash-to-_per_ rule), and
-# "throughput", the extracted jobs-per-second admission series (the
-# scheduler/cluster/traced canaries) — the headline numbers a
-# trajectory diff looks at first.
+# "throughput", the jobs-per-second admission series — the sustained
+# concurrent-ingest rate measured by an actual `micserve -rate-only`
+# run (SERVE_JOBS jobs through 8 submitter goroutines, default 2000)
+# followed by the extracted scheduler/cluster/traced/serve canaries —
+# the headline numbers a trajectory diff looks at first.
 #
 # Zero matched benchmarks is a failure, not an empty trajectory point:
 # a -run/-bench typo or a build constraint silently filtering the
@@ -40,6 +42,13 @@ if [ "${matched:-0}" -eq 0 ]; then
   echo "bench.sh: no benchmarks matched — refusing to write an empty trajectory point" >&2
   exit 1
 fi
+
+# Service-mode sustained ingest: a real micserve run (concurrent
+# submitters racing through the admission frontier, then a drain), not
+# a testing.B loop — this is the end-to-end number an operator sees.
+serve_jobs="${SERVE_JOBS:-2000}"
+serve_rate="$(go run ./cmd/micserve -rate-only -jobs "$serve_jobs" -submitters 8)"
+echo "micserve sustained ingest: ${serve_rate} jobs/s (${serve_jobs} jobs, 8 submitters)"
 
 mkdir -p bench
 {
@@ -66,15 +75,16 @@ mkdir -p bench
   ' "$raw"
   printf '  ],\n'
   printf '  "throughput": [\n'
+  printf '    {"name": "micserve/sustained-ingest", "jobs_per_s": %s}' "$serve_rate"
   awk '
+    BEGIN { sep = "," }
     /^Benchmark/ {
       name = $1; sub(/-[0-9]+$/, "", name)
       for (i = 3; i < NF; i += 2) {
         if ($(i + 1) == "jobs/s") {
           line = sprintf("    {\"name\": \"%s\", \"jobs_per_s\": %s}", name, $i)
-          if (sep) print sep
+          print sep
           printf "%s", line
-          sep = ","
         }
       }
     }
