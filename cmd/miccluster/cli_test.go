@@ -8,8 +8,10 @@ package main
 // os.Exit and all.
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -73,6 +75,12 @@ func TestCLIFlagMatrix(t *testing.T) {
 		{"explain with compare", []string{"-explain=0", "-compare"}, 2, "describe one run"},
 		{"explain out of range", []string{"-explain=99", "-njobs=4"}, 2, "-explain: job index 99 out of range"},
 		{"flight-p95 without flight", []string{"-flight-p95=5ms"}, 2, "-flight-p95 needs -flight"},
+		// SLO flag hygiene: the report needs a spec, the spec judges
+		// one run, and a malformed spec is a usage error, not a crash.
+		{"slo-json without slo", []string{"-slo-json=x.json"}, 2, "-slo-json needs -slo"},
+		{"slo with compare", []string{"-slo=spec.json", "-compare"}, 2, "-slo judges one run's objectives"},
+		{"slo with scaling", []string{"-slo=spec.json", "-scaling"}, 2, "-slo judges one run's objectives"},
+		{"slo missing file", []string{"-slo=/nonexistent/spec.json"}, 2, "-slo:"},
 		// The legal spellings still run.
 		{"bare run", []string{"-njobs=4"}, 0, "placement=predicted"},
 		{"lru with cap", []string{"-njobs=4", "-cache=lru", "-cachecap=1048576"}, 0, "residency:"},
@@ -93,5 +101,73 @@ func TestCLIFlagMatrix(t *testing.T) {
 				t.Fatalf("miccluster %v: output missing %q\n%s", tc.args, tc.want, out)
 			}
 		})
+	}
+}
+
+// A malformed objective spec is refused up front with exit 2 naming
+// the problem; a legal spec runs, prints the verdict table, and writes
+// a byte-deterministic report.
+func TestCLISLOSpecValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary per case")
+	}
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	malformed := []struct {
+		name, body, want string
+	}{
+		{"unknown field", `{"objectives": [{"bogus": 1}]}`, "unknown field"},
+		{"bad duration", `{"objectives": [{"tenant": "A", "name": "x", "kind": "latency", "target": 0.9, "threshold": "fast"}]}`, "-slo:"},
+		{"target out of range", `{"objectives": [{"tenant": "A", "name": "x", "kind": "latency", "target": 1.5, "threshold": "2ms"}]}`, "target"},
+		{"not json", `objectives:`, "-slo:"},
+	}
+	for _, tc := range malformed {
+		t.Run(tc.name, func(t *testing.T) {
+			out, code := runCLI(t, "-slo="+write("bad.json", tc.body))
+			if code != 2 {
+				t.Fatalf("exit %d, want 2\n%s", code, out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+
+	good := write("good.json", `{"objectives": [
+		{"tenant": "A", "name": "a-lat", "kind": "latency", "target": 0.9, "threshold": "1500us"},
+		{"tenant": "B", "name": "b-deadline", "kind": "deadline", "target": 0.8, "threshold": "2ms"}
+	]}`)
+	outA := filepath.Join(dir, "SLO_a.json")
+	outB := filepath.Join(dir, "SLO_b.json")
+	for _, p := range []string{outA, outB} {
+		out, code := runCLI(t, "-njobs=8", "-seed=3", "-slo="+good, "-slo-json="+p)
+		if code != 0 {
+			t.Fatalf("exit %d\n%s", code, out)
+		}
+		if !strings.Contains(out, "slo verdicts") || !strings.Contains(out, "a-lat") {
+			t.Fatalf("missing verdict table:\n%s", out)
+		}
+	}
+	a, err := os.ReadFile(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("SLO reports differ across identical runs:\n%s\n---\n%s", a, b)
+	}
+	if !bytes.Contains(a, []byte(`"schema": "micstream-slo-v1"`)) {
+		t.Fatalf("report missing schema header:\n%s", a)
 	}
 }

@@ -14,6 +14,7 @@
 //	miccluster -explain=7 -slice=1 -steal=1ns
 //	miccluster -serve=:9100 -metrics-json=metrics.json -drift=DRIFT_run.json
 //	miccluster -flight=flight.txt -flight-p95=5ms
+//	miccluster -slo=objectives.json -slo-json=SLO_run.json
 //	miccluster -list
 //
 // Placement policies: least-loaded (fewest committed jobs),
@@ -49,6 +50,12 @@
 // report (the last events before each job failure or, with
 // -flight-p95, each tenant's first p95 breach); -serve exposes the
 // final metrics at /metrics in OpenMetrics text format after the run.
+// -slo evaluates a JSON objective spec (per-tenant latency targets,
+// deadline miss budgets, throughput floors — DESIGN.md §16) over the
+// run's telemetry: error budgets and multi-window burn rates update at
+// every drain instant, violations are attributed to their dominant
+// causal phase, budget exhaustion triggers the -flight recorder, and
+// -slo-json writes the byte-deterministic SLO report.
 // Observers never perturb the schedule: a run with every explanation
 // flag on is bit-identical to the bare run. Every run is a pure
 // function of its flags.
@@ -107,6 +114,8 @@ func main() {
 		flightOut  = flag.String("flight", "", "write a flight-recorder report (events preceding failures / p95 breaches) to this file")
 		flightCap  = flag.Int("flight-cap", micstream.DefaultFlightCap, "flight-recorder ring capacity in events")
 		flightP95  = flag.Duration("flight-p95", 0, "flight-recorder trigger: dump on a tenant's first p95 over this (virtual time); 0 disables")
+		sloPath    = flag.String("slo", "", "evaluate SLO objectives from this JSON spec file over the run's telemetry")
+		sloOut     = flag.String("slo-json", "", "write the SLO verdict as SLO JSON to this file (needs -slo)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -197,7 +206,21 @@ func main() {
 	if *traceOut != "" && (*compare || *scaling) {
 		usageError("-trace records one run; drop -compare/-scaling")
 	}
-	explaining := *explain >= 0 || *serve != "" || *metricsOut != "" || *driftOut != "" || *flightOut != ""
+	if *sloOut != "" && *sloPath == "" {
+		usageError("-slo-json needs -slo to declare the objectives")
+	}
+	if *sloPath != "" && (*compare || *scaling) {
+		usageError("-slo judges one run's objectives; drop -compare/-scaling")
+	}
+	// The spec file is parsed and validated up front: a malformed
+	// objective is a command-line mistake, not a runtime failure.
+	var sloSpec micstream.SLOSpec
+	if *sloPath != "" {
+		if sloSpec, err = micstream.LoadSLOSpec(*sloPath); err != nil {
+			usageError("-slo: %v", err)
+		}
+	}
+	explaining := *explain >= 0 || *serve != "" || *metricsOut != "" || *driftOut != "" || *flightOut != "" || *sloPath != ""
 	if explaining && (*compare || *scaling) {
 		usageError("-explain/-serve/-metrics-json/-drift/-flight describe one run; drop -compare/-scaling")
 	}
@@ -235,6 +258,7 @@ func main() {
 	metricsFile := create("metrics-json", *metricsOut)
 	driftFile := create("drift", *driftOut)
 	flightFile := create("flight", *flightOut)
+	sloFile := create("slo-json", *sloOut)
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -300,18 +324,51 @@ func main() {
 		if flightFile != nil {
 			flight = micstream.NewFlightRecorder(*flightCap)
 			flight.SetP95Threshold(micstream.Duration((*flightP95).Nanoseconds()))
-			rec.SetOnEvent(flight.OnEvent)
 		}
-		if exporter != nil || flight != nil {
-			exp, fl := exporter, flight
+		var sloEval *micstream.SLOEvaluator
+		if *sloPath != "" {
+			ev, err := micstream.NewSLOEvaluator(sloSpec)
+			if err != nil {
+				fatal(err)
+			}
+			sloEval = ev
+			if flight != nil {
+				// Budget exhaustion is an anomaly worth a capture: wire
+				// it to the flight recorder, as the serve layer does.
+				fl := flight
+				sloEval.SetOnExhausted(func(o micstream.SLOObjective, at micstream.Time) {
+					fl.Trigger(fmt.Sprintf("slo %q (tenant %q) error budget exhausted", o.Name, o.TenantLabel()), at)
+				})
+			}
+		}
+		if flight != nil || sloEval != nil {
+			fl, ev := flight, sloEval
+			rec.SetOnEvent(func(e micstream.TelemetryEvent) {
+				if ev != nil {
+					ev.OnEvent(e)
+				}
+				if fl != nil {
+					fl.OnEvent(e)
+				}
+			})
+		}
+		if exporter != nil || flight != nil || sloEval != nil {
+			exp, fl, ev := exporter, flight, sloEval
 			rec.SetOnMetrics(func(s micstream.MetricsSnapshot) {
 				if exp != nil {
 					exp.Observe(s)
+				}
+				if ev != nil {
+					ev.OnMetrics(s)
 				}
 				if fl != nil {
 					fl.OnMetrics(s)
 				}
 			})
+		}
+		var specPtr *micstream.SLOSpec
+		if sloEval != nil {
+			specPtr = &sloSpec
 		}
 		r, c := runOnce(name, clusterFlags{
 			devices: *devices, partitions: *partitions, streams: *streams,
@@ -321,7 +378,7 @@ func main() {
 			datasets: *datasets, writefrac: *writefrac,
 			xfer: *xfer, origins: origin, arrival: *arrival, seed: *seed,
 			windowNs: window.Nanoseconds(), tenants: *tenants,
-		}, rec)
+		}, rec, specPtr)
 		printResult(r, name, *arrival, *seed, *cache != "off", *jobs)
 		if *metrics {
 			printMetrics(c.Metrics())
@@ -357,6 +414,16 @@ func main() {
 			writeAndClose(flightFile, *flightOut, "flight report", func(f *os.File) error {
 				return flight.WriteText(f)
 			})
+		}
+		if sloEval != nil {
+			printSLO(sloEval)
+			if sloFile != nil {
+				meta := micstream.SLOMeta{Run: fmt.Sprintf("%s-%s-%d", name, *arrival, *seed),
+					Seed: int64(*seed), Policy: name}
+				writeAndClose(sloFile, *sloOut, "slo report", func(f *os.File) error {
+					return sloEval.WriteJSON(f, meta)
+				})
+			}
 		}
 		if exporter != nil {
 			fmt.Printf("\nserving OpenMetrics at http://%s/metrics (interrupt to stop)\n", *serve)
@@ -435,8 +502,11 @@ type clusterFlags struct {
 // runOnce builds a fresh cluster and runs the configured scenario,
 // returning the result and the cluster (for its telemetry accessors).
 // Flag names were validated in main; the factory below runs once per
-// device after validation cannot fail.
-func runOnce(place string, f clusterFlags, rec *micstream.Telemetry) (*micstream.ClusterResult, *micstream.Cluster) {
+// device after validation cannot fail. A non-nil sloSpec stamps its
+// deadline-kind thresholds onto the matching tenants' jobs before the
+// run, so scheduler miss accounting and the evaluator judge the same
+// budget.
+func runOnce(place string, f clusterFlags, rec *micstream.Telemetry, sloSpec *micstream.SLOSpec) (*micstream.ClusterResult, *micstream.Cluster) {
 	pol, err := micstream.PlaceBy(place)
 	if err != nil {
 		fatal(err)
@@ -496,6 +566,9 @@ func runOnce(place string, f clusterFlags, rec *micstream.Telemetry) (*micstream
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if sloSpec != nil {
+		micstream.StampSLODeadlines(scenario, *sloSpec)
 	}
 	r, err := c.Run(scenario)
 	if err != nil {
@@ -557,6 +630,30 @@ func printResult(r *micstream.ClusterResult, place, arrival string, seed uint64,
 		}
 		tw.Flush()
 	}
+}
+
+// printSLO renders each objective's final verdict: sample counts,
+// breaches, remaining error budget, burn rates, and the alert and
+// exhaustion instants (virtual time).
+func printSLO(ev *micstream.SLOEvaluator) {
+	fmt.Println()
+	fmt.Println("slo verdicts (error budgets and burn rates at the final drain instant)")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "objective\ttenant\tkind\tsamples\tbad\tbudget\tburn-fast\tburn-slow\tfirst-alert\texhausted")
+	for _, st := range ev.States() {
+		firstAlert, exhausted := "-", "-"
+		if st.FirstAlertAt > 0 {
+			firstAlert = st.FirstAlertAt.String()
+		}
+		if st.Exhausted {
+			exhausted = st.ExhaustedAt.String()
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.2f\t%.1f\t%.1f\t%s\t%s\n",
+			st.Objective.Name, st.Objective.TenantLabel(), st.Objective.Kind,
+			st.Samples, st.Bad, st.BudgetRemaining, st.BurnFast, st.BurnSlow,
+			firstAlert, exhausted)
+	}
+	tw.Flush()
 }
 
 // printMetrics renders the drain-instant metrics time series: the

@@ -10,6 +10,7 @@ package main
 import (
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,6 +58,9 @@ func TestCLIFlagMatrix(t *testing.T) {
 		{"bad cache", []string{"-cache=bogus"}, 2, "-cache: unknown cache mode"},
 		{"cachecap without lru", []string{"-cachecap=1048576"}, 2, "-cachecap needs -cache=lru"},
 		{"rate-only with serve", []string{"-rate-only", "-serve=:0"}, 2, "-rate-only is the harness mode"},
+		{"rate-only with slo", []string{"-rate-only", "-slo=spec.json"}, 2, "-rate-only is the harness mode; drop -slo"},
+		{"slo-json without slo", []string{"-slo-json=x.json"}, 2, "-slo-json needs -slo"},
+		{"slo missing file", []string{"-slo=/nonexistent/spec.json"}, 2, "-slo:"},
 		{"ingest run", []string{"-jobs=64", "-submitters=4"}, 0, "jobs/sec sustained"},
 		{"verify replay", []string{"-jobs=64", "-submitters=4", "-verify"}, 0, "replay     bit-identical"},
 		{"lru with cap", []string{"-jobs=64", "-cache=lru", "-cachecap=1048576"}, 0, "jobs/sec sustained"},
@@ -74,6 +78,45 @@ func TestCLIFlagMatrix(t *testing.T) {
 				t.Fatalf("micserve %v: output missing %q\n%s", tc.args, tc.want, out)
 			}
 		})
+	}
+}
+
+// TestSLOIngest pins the -slo ingest path: a malformed spec exits 2
+// before any ingest, a legal one prints per-objective verdicts and
+// writes the report.
+func TestSLOIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"objectives": [{"bogus": 1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runCLI(t, "-slo="+bad)
+	if code != 2 || !strings.Contains(out, "unknown field") {
+		t.Fatalf("malformed spec: exit %d\n%s", code, out)
+	}
+
+	good := filepath.Join(dir, "good.json")
+	spec := `{"objectives": [{"tenant": "t0", "name": "t0-lat", "kind": "latency", "target": 0.9, "threshold": "1s"}]}`
+	if err := os.WriteFile(good, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report := filepath.Join(dir, "SLO_serve.json")
+	out, code = runCLI(t, "-jobs=64", "-submitters=4", "-slo="+good, "-slo-json="+report)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "slo        t0-lat (tenant t0)") {
+		t.Fatalf("missing verdict line:\n%s", out)
+	}
+	b, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"schema": "micstream-slo-v1"`) {
+		t.Fatalf("report missing schema header:\n%s", b)
 	}
 }
 

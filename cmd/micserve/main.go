@@ -10,6 +10,7 @@
 //	micserve -jobs=5000 -submitters=16 -rate=50000 -place=affinity -cache=lru
 //	micserve -jobs=1000 -verify            # prove the replay bit-identity
 //	micserve -serve=:9090 -jobs=100000     # live /metrics, /flight, /stats
+//	micserve -slo=objectives.json -serve=:9090   # adds live /slo and /health
 //	micserve -rate-only -jobs=2000         # bare jobs/sec, for harnesses
 //
 // Wall-clock time decides only which epoch batch each job lands in;
@@ -50,6 +51,8 @@ func main() {
 		batchcap   = flag.Int("batchcap", 0, "max jobs admitted per epoch; 0 = unbounded")
 		drain      = flag.Duration("drain", 30*time.Second, "drain deadline (wall-clock)")
 		serveAddr  = flag.String("serve", "", "serve live /metrics, /flight and /stats on this address while ingesting")
+		sloPath    = flag.String("slo", "", "evaluate SLO objectives from this JSON spec file; adds live /slo and /health to -serve")
+		sloOut     = flag.String("slo-json", "", "write the final SLO verdict as SLO JSON to this file (needs -slo)")
 		verify     = flag.Bool("verify", false, "after draining, replay the recorded admission sequence single-threaded and check bit-identity")
 		rateOnly   = flag.Bool("rate-only", false, "print only the sustained jobs/sec figure")
 		list       = flag.Bool("list", false, "list placements and cache modes")
@@ -109,6 +112,21 @@ func main() {
 	if *rateOnly && *serveAddr != "" {
 		usageError("-rate-only is the harness mode; drop -serve")
 	}
+	if *rateOnly && *sloPath != "" {
+		usageError("-rate-only is the harness mode; drop -slo")
+	}
+	if *sloOut != "" && *sloPath == "" {
+		usageError("-slo-json needs -slo to declare the objectives")
+	}
+	// A malformed objective spec is a command-line mistake, refused up
+	// front before any ingest starts.
+	var sloSpec micstream.SLOSpec
+	if *sloPath != "" {
+		var err error
+		if sloSpec, err = micstream.LoadSLOSpec(*sloPath); err != nil {
+			usageError("-slo: %v", err)
+		}
+	}
 
 	build := func(tel *micstream.Telemetry) (*micstream.Cluster, error) {
 		pol, err := micstream.PlaceBy(*place)
@@ -141,11 +159,23 @@ func main() {
 		micstream.WithServeBatchCap(*batchcap),
 	}
 	var tel *micstream.Telemetry
-	if *serveAddr != "" {
+	if *serveAddr != "" || *sloPath != "" {
 		tel = micstream.NewTelemetry()
+	}
+	if *serveAddr != "" {
 		serveOpts = append(serveOpts,
 			micstream.WithServeExporter(micstream.NewOpenMetricsExporter()),
 			micstream.WithServeFlight(micstream.NewFlightRecorder(256)))
+	}
+	var sloEval *micstream.SLOEvaluator
+	if *sloPath != "" {
+		var err error
+		if sloEval, err = micstream.NewSLOEvaluator(sloSpec); err != nil {
+			fatal(err)
+		}
+		serveOpts = append(serveOpts,
+			micstream.WithServeSLO(sloEval),
+			micstream.WithServeSLOMeta(micstream.SLOMeta{Run: "serve-" + *place, Policy: *place}))
 	}
 	c, err := build(tel)
 	if err != nil {
@@ -185,7 +215,16 @@ func main() {
 		go func(g int) {
 			defer wg.Done()
 			for id := g; id < *njobs; id += *submitters {
-				if _, err := srv.Submit(ingestJob(id, *tenants, *devices, *xfer)); err != nil {
+				j := ingestJob(id, *tenants, *devices, *xfer)
+				if sloEval != nil {
+					// Deadline-kind objectives stamp their budget onto
+					// the job, so scheduler miss accounting and the
+					// evaluator judge the same number.
+					jobs := []micstream.ClusterJob{j}
+					micstream.StampSLODeadlines(jobs, sloSpec)
+					j = jobs[0]
+				}
+				if _, err := srv.Submit(j); err != nil {
 					errc <- fmt.Errorf("job %d: %w", id, err)
 					return
 				}
@@ -222,6 +261,33 @@ func main() {
 		if r.Failed > 0 {
 			fmt.Printf("failed     %d jobs\n", r.Failed)
 		}
+		for _, st := range sloStates(sloEval) {
+			verdict := "compliant"
+			if st.Exhausted {
+				verdict = fmt.Sprintf("budget exhausted at %v", st.ExhaustedAt)
+			} else if st.Alerting {
+				verdict = "burn-rate alert firing"
+			}
+			fmt.Printf("slo        %s (tenant %s): budget %.2f, %d/%d bad, burn %.1f fast / %.1f slow — %s\n",
+				st.Objective.Name, st.Objective.TenantLabel(), st.BudgetRemaining,
+				st.Bad, st.Samples, st.BurnFast, st.BurnSlow, verdict)
+		}
+	}
+	if sloEval != nil && *sloOut != "" {
+		f, err := os.Create(*sloOut)
+		if err != nil {
+			fatal(err)
+		}
+		meta := micstream.SLOMeta{Run: "serve-" + *place, Policy: *place}
+		if err := sloEval.WriteJSON(f, meta); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if !*rateOnly {
+			fmt.Printf("slo report → %s\n", *sloOut)
+		}
 	}
 
 	if *verify {
@@ -243,6 +309,15 @@ func main() {
 			fmt.Printf("replay     bit-identical (%d outcomes, %d batches)\n", len(live), len(srv.Batches()))
 		}
 	}
+}
+
+// sloStates returns the evaluator's verdicts, or nothing when SLOs
+// are off.
+func sloStates(ev *micstream.SLOEvaluator) []micstream.SLOState {
+	if ev == nil {
+		return nil
+	}
+	return ev.States()
 }
 
 // ingestJob builds job id's spec: tenant and cost derive from the id,

@@ -100,6 +100,13 @@ type Job struct {
 	// those tiles is invalidated; the writer keeps the fresh copy when
 	// it ran off the dataset's origin.
 	Writes []residency.Region
+	// Deadline is the job's relative completion deadline — the latency
+	// budget measured from cluster admission; 0 means none. Deadlines
+	// are accounting only: the completed outcome is tagged Missed when
+	// its latency overran the budget (and the telemetry Admit event
+	// carries the budget for SLO evaluators), but placement, dispatch
+	// and stealing never read it.
+	Deadline sim.Duration
 }
 
 // StagingDemand is the volume the job must move when placed off its
@@ -562,6 +569,9 @@ func (c *Cluster) validate(jobs []Job) error {
 		if j.StagingBytes < 0 {
 			return fmt.Errorf("cluster: job %d has negative staging volume %d", j.ID, j.StagingBytes)
 		}
+		if j.Deadline < 0 {
+			return fmt.Errorf("cluster: job %d has negative deadline %v", j.ID, j.Deadline)
+		}
 		if err := residency.Validate(j.Reads); err != nil {
 			return fmt.Errorf("cluster: job %d reads: %w", j.ID, err)
 		}
@@ -708,6 +718,7 @@ func (c *Cluster) admit(job *Job, idx int) {
 		Stream:     -1,
 		Origin:     origin,
 		StolenFrom: -1,
+		Deadline:   job.Deadline,
 	}
 	if c.runErr != nil {
 		c.outcomes[idx].Failed = true
@@ -725,7 +736,8 @@ func (c *Cluster) admit(job *Job, idx int) {
 	c.seq++
 	if c.tel.Enabled() {
 		c.tel.Emit(telemetry.Event{At: c.ctx.Now(), Kind: telemetry.Admit,
-			Job: idx, ID: job.ID, Tenant: tenantOf(job), Device: -1, From: -1, Stream: -1, Dur: est})
+			Job: idx, ID: job.ID, Tenant: tenantOf(job), Device: -1, From: -1, Stream: -1, Dur: est,
+			Deadline: job.Deadline})
 	}
 	c.dispatch()
 }
@@ -1005,6 +1017,9 @@ func (c *Cluster) jobDone(dev int, o sched.JobOutcome) {
 	}
 	out.Slices += o.Slices
 	out.Done = o.Done
+	if out.Deadline > 0 && out.Latency() > out.Deadline {
+		out.Missed = true
+	}
 	c.done++
 	c.emitOutcome(idx)
 	if c.runErr != nil {

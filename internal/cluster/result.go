@@ -22,6 +22,10 @@ type Outcome struct {
 	Arrival, Placed, Start, Done sim.Time
 	// Est is the service estimate excluding staging.
 	Est sim.Duration
+	// Deadline echoes the job's relative latency budget (0: none);
+	// Missed reports the completed job overran it (Latency > Deadline).
+	Deadline sim.Duration
+	Missed   bool
 	// Staged reports whether the job ran off its origin device and
 	// paid the host-staging transfer; StagedBytes is the charged
 	// volume and StagingEst that transfer's modeled link occupancy.
@@ -94,15 +98,17 @@ func (o Outcome) Service() sim.Duration { return o.Done.Sub(o.Start) }
 // aggregation is shared with the single-device scheduler.
 func (o Outcome) schedOutcome() sched.JobOutcome {
 	return sched.JobOutcome{
-		Index:   o.Index,
-		ID:      o.ID,
-		Tenant:  o.Tenant,
-		Stream:  o.Stream,
-		Arrival: o.Arrival,
-		Start:   o.Start,
-		Done:    o.Done,
-		Est:     o.Est,
-		Failed:  o.Failed,
+		Index:    o.Index,
+		ID:       o.ID,
+		Tenant:   o.Tenant,
+		Stream:   o.Stream,
+		Arrival:  o.Arrival,
+		Start:    o.Start,
+		Done:     o.Done,
+		Est:      o.Est,
+		Deadline: o.Deadline,
+		Missed:   o.Missed,
+		Failed:   o.Failed,
 	}
 }
 
@@ -160,6 +166,9 @@ type Result struct {
 	// the full demand. EvictedBytes is the volume LRU eviction dropped
 	// at this run's drain instants (always 0 cache-less).
 	HitBytes, MissBytes, EvictedBytes int64
+	// DeadlineMisses counts completed jobs that overran their declared
+	// relative deadline (always 0 when no job carries one).
+	DeadlineMisses int
 	// Steals counts drain-instant re-bindings of committed,
 	// not-yet-dispatched jobs (0 unless the cluster runs WithStealing).
 	// Preempts counts mid-job migrations — a dispatched job's
@@ -209,6 +218,9 @@ func (c *Cluster) summarize(runStart sim.Time) *Result {
 		}
 		if o.Done > end {
 			end = o.Done
+		}
+		if o.Missed {
+			r.DeadlineMisses++
 		}
 		ds := &devs[o.Device]
 		ds.Jobs++

@@ -32,7 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fairness", "imbalance",
 		"modelval", "guided",
 		"placement", "cluster-scaling", "stealing", "residency",
-		"slicing", "drift",
+		"slicing", "drift", "slo",
 	}
 	ids := IDs()
 	got := map[string]bool{}

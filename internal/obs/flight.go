@@ -98,6 +98,13 @@ func (f *FlightRecorder) OnMetrics(s telemetry.MetricsSnapshot) {
 	}
 }
 
+// Trigger dumps the ring on an externally detected anomaly — the hook
+// the SLO layer fires when a tenant's error budget exhausts, so the
+// ring captures the breach neighborhood exactly like a failure or p95
+// trigger would. The reason string becomes the dump's label; at is the
+// (virtual) trigger instant.
+func (f *FlightRecorder) Trigger(reason string, at sim.Time) { f.dump(reason, at) }
+
 // dump snapshots the ring (oldest first) and clears it.
 func (f *FlightRecorder) dump(reason string, at sim.Time) {
 	var events []telemetry.Event

@@ -27,6 +27,7 @@ type Exporter struct {
 	mu   sync.Mutex
 	snap telemetry.MetricsSnapshot
 	seen bool
+	aux  func(io.Writer) error
 }
 
 // NewExporter returns an exporter with no snapshot yet (Render emits
@@ -49,15 +50,30 @@ func (x *Exporter) Attach(rec *telemetry.Recorder) {
 	rec.SetOnMetrics(x.Observe)
 }
 
+// SetAux installs (or clears, with nil) an auxiliary renderer invoked
+// on every Render between the snapshot families and the trailing
+// # EOF marker — the seam through which other layers (the SLO
+// evaluator's mic_slo_* families) join the same exposition without
+// the exporter importing them. The function must emit well-formed
+// OpenMetrics text and must be safe to call whenever Render is.
+func (x *Exporter) SetAux(fn func(io.Writer) error) {
+	x.mu.Lock()
+	x.aux = fn
+	x.mu.Unlock()
+}
+
 // Render writes the latest snapshot as OpenMetrics text, terminated
 // by the mandatory # EOF marker.
 func (x *Exporter) Render(w io.Writer) error {
 	x.mu.Lock()
-	snap, seen := x.snap, x.seen
+	snap, seen, aux := x.snap, x.seen, x.aux
 	x.mu.Unlock()
 	mw := &textSink{w: w}
 	if seen {
 		renderSnapshot(mw, &snap)
+	}
+	if aux != nil && mw.err == nil {
+		mw.err = aux(w)
 	}
 	mw.printf("# EOF\n")
 	return mw.err

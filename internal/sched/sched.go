@@ -72,6 +72,12 @@ type Job struct {
 	// index space with the admit/place/steal events — one index
 	// correlates all layers (DESIGN.md §14). Ignored standalone.
 	Ref int
+	// Deadline is the job's relative completion deadline (latency
+	// budget measured from admission); 0 means none. Deadlines are
+	// accounting only — they tag the outcome (JobOutcome.Missed) and
+	// the telemetry Admit event, and never influence dispatch order
+	// (a deadline-aware policy would read them through Pending.Job).
+	Deadline sim.Duration
 }
 
 // Pending is a queued job together with the bookkeeping policies see.
@@ -556,12 +562,13 @@ func (s *Scheduler) admit(job *Job, idx int) {
 		est = s.Estimate(job.Tasks)
 	}
 	s.outcomes[idx] = JobOutcome{
-		Index:   idx,
-		ID:      job.ID,
-		Tenant:  tenantOf(job),
-		Arrival: s.ctx.Now(),
-		Est:     est,
-		Stream:  -1,
+		Index:    idx,
+		ID:       job.ID,
+		Tenant:   tenantOf(job),
+		Arrival:  s.ctx.Now(),
+		Est:      est,
+		Stream:   -1,
+		Deadline: job.Deadline,
 	}
 	if s.runErr != nil {
 		s.outcomes[idx].Failed = true
@@ -578,7 +585,7 @@ func (s *Scheduler) admit(job *Job, idx int) {
 	// commitment, which the cluster logs itself as a Place event.
 	if s.tel.Enabled() && s.telDev < 0 {
 		s.tel.Emit(telemetry.Event{At: s.ctx.Now(), Kind: telemetry.Admit, Job: idx, ID: job.ID,
-			Tenant: tenantOf(job), Device: -1, From: -1, Stream: -1, Dur: est})
+			Tenant: tenantOf(job), Device: -1, From: -1, Stream: -1, Dur: est, Deadline: job.Deadline})
 	}
 	s.pending = append(s.pending, &Pending{Job: job, Est: est, Seq: s.seq, idx: idx})
 	s.seq++
@@ -751,6 +758,9 @@ func (s *Scheduler) start(p *Pending, stream int) {
 			return
 		}
 		s.outcomes[idx].Done = s.ctx.Now()
+		if d := s.outcomes[idx].Deadline; d > 0 && s.outcomes[idx].Latency() > d {
+			s.outcomes[idx].Missed = true
+		}
 		s.done++
 		s.busy[stream] = false
 		s.streamTenant[stream] = ""
@@ -837,6 +847,10 @@ type JobOutcome struct {
 	Arrival, Start, Done sim.Time
 	// Est is the service estimate the policies saw.
 	Est sim.Duration
+	// Deadline echoes the job's relative latency budget (0: none);
+	// Missed reports the completed job overran it (Latency > Deadline).
+	Deadline sim.Duration
+	Missed   bool
 	// Slices counts the stream grants the job took: 1 for a
 	// whole-job dispatch, more under WithSlicing. Zero means the job
 	// never reached a stream.
@@ -876,6 +890,9 @@ type TenantStats struct {
 	Throughput float64
 	// MeanLatency and the percentiles summarize response times.
 	MeanLatency, P50, P95, P99 sim.Duration
+	// Misses counts completed jobs that overran their declared
+	// deadline (always 0 when no job of the tenant carries one).
+	Misses int
 	// MeanSlowdown is the mean latency/service ratio: the tenant's
 	// service-quality degradation under contention.
 	MeanSlowdown float64
@@ -943,9 +960,13 @@ func AggregateTenants(outcomes []JobOutcome, makespan sim.Duration) []TenantStat
 		jobs := perTenant[name]
 		lats := make([]float64, len(jobs))
 		slow := 0.0
+		misses := 0
 		for i, o := range jobs {
 			lats[i] = float64(o.Latency())
 			slow += o.Slowdown()
+			if o.Missed {
+				misses++
+			}
 		}
 		p50, p95, p99 := stats.Percentiles(lats)
 		ts := TenantStats{
@@ -955,6 +976,7 @@ func AggregateTenants(outcomes []JobOutcome, makespan sim.Duration) []TenantStat
 			P50:          sim.Duration(p50),
 			P95:          sim.Duration(p95),
 			P99:          sim.Duration(p99),
+			Misses:       misses,
 			MeanSlowdown: slow / float64(len(jobs)),
 		}
 		if span > 0 {

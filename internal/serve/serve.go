@@ -28,12 +28,16 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"micstream/internal/cluster"
 	"micstream/internal/obs"
+	"micstream/internal/sim"
+	"micstream/internal/slo"
 	"micstream/internal/telemetry"
 )
 
@@ -96,6 +100,24 @@ func WithFlight(f *obs.FlightRecorder) Option {
 	return func(s *Server) { s.flight = f }
 }
 
+// WithSLO attaches an SLO evaluator: every event and drain-instant
+// snapshot feeds it live, its verdict is exposed on /slo, its
+// mic_slo_* families join the /metrics exposition (when WithExporter),
+// its alert and budget state feeds /health, and — when WithFlight —
+// a budget exhaustion triggers a flight-recorder dump. Requires a
+// cluster built WithTelemetry. The evaluator is not itself
+// thread-safe; the server serializes scheduler-side writes against
+// HTTP-side reads.
+func WithSLO(ev *slo.Evaluator) Option {
+	return func(s *Server) { s.slo = ev }
+}
+
+// WithSLOMeta sets the provenance block /slo reports (run label, seed,
+// placement policy). Without it the report carries zero values.
+func WithSLOMeta(m slo.Meta) Option {
+	return func(s *Server) { s.sloMeta = m }
+}
+
 // submitReq is one job crossing the frontier, with the reply channel
 // its submitter blocks on.
 type submitReq struct {
@@ -118,6 +140,8 @@ type Server struct {
 	batchCap int
 	exporter *obs.Exporter
 	flight   *obs.FlightRecorder
+	slo      *slo.Evaluator
+	sloMeta  slo.Meta
 
 	frontier chan submitReq
 	stop     chan struct{} // closed by Drain once no submitter is in flight
@@ -137,6 +161,16 @@ type Server struct {
 	// flightMu serializes the run loop's flight-recorder writes
 	// against HTTP reads (obs.FlightRecorder is not thread-safe).
 	flightMu sync.Mutex
+
+	// sloMu serializes the run loop's SLO-evaluator writes against
+	// HTTP reads (/slo, /health, the /metrics aux fragment), and
+	// guards the latest drain-instant snapshot /health judges device
+	// saturation from. Writers take sloMu before flightMu (the
+	// exhaustion hook fires inside an OnMetrics); readers take each
+	// alone.
+	sloMu    sync.Mutex
+	lastSnap telemetry.MetricsSnapshot
+	snapSeen bool
 
 	// subMu guards the subscriber set and the recorded batches; both
 	// are written by the run loop and read from caller goroutines.
@@ -178,22 +212,53 @@ func New(c *cluster.Cluster, opts ...Option) (*Server, error) {
 	if s.batchCap < 0 {
 		return nil, fmt.Errorf("serve: negative batch cap %d", s.batchCap)
 	}
-	if (s.exporter != nil || s.flight != nil) && !c.Telemetry().Enabled() {
-		return nil, fmt.Errorf("serve: metrics/flight require a cluster built WithTelemetry")
+	if (s.exporter != nil || s.flight != nil || s.slo != nil) && !c.Telemetry().Enabled() {
+		return nil, fmt.Errorf("serve: metrics/flight/slo require a cluster built WithTelemetry")
 	}
-	if s.exporter != nil || s.flight != nil {
-		x, f, rec := s.exporter, s.flight, c.Telemetry()
-		if f != nil {
-			rec.SetOnEvent(func(e telemetry.Event) {
+	if s.exporter != nil || s.flight != nil || s.slo != nil {
+		x, f, ev, rec := s.exporter, s.flight, s.slo, c.Telemetry()
+		if ev != nil && f != nil {
+			// A spent budget dumps the ring: the hook fires inside an
+			// sloMu-held OnMetrics, so the sloMu → flightMu order here
+			// is the writers' fixed order.
+			ev.SetOnExhausted(func(o slo.Objective, now sim.Time) {
 				s.flightMu.Lock()
-				f.OnEvent(e)
+				f.Trigger(fmt.Sprintf("slo %q (tenant %q) error budget exhausted", o.Name, o.TenantLabel()), now)
 				s.flightMu.Unlock()
+			})
+		}
+		if ev != nil && x != nil {
+			x.SetAux(func(w io.Writer) error {
+				s.sloMu.Lock()
+				defer s.sloMu.Unlock()
+				return ev.WriteOpenMetrics(w)
+			})
+		}
+		if f != nil || ev != nil {
+			rec.SetOnEvent(func(e telemetry.Event) {
+				if ev != nil {
+					s.sloMu.Lock()
+					ev.OnEvent(e)
+					s.sloMu.Unlock()
+				}
+				if f != nil {
+					s.flightMu.Lock()
+					f.OnEvent(e)
+					s.flightMu.Unlock()
+				}
 			})
 		}
 		rec.SetOnMetrics(func(m telemetry.MetricsSnapshot) {
 			if x != nil {
 				x.Observe(m)
 			}
+			s.sloMu.Lock()
+			if ev != nil {
+				ev.OnMetrics(m)
+			}
+			s.lastSnap = m
+			s.snapSeen = true
+			s.sloMu.Unlock()
 			if f != nil {
 				s.flightMu.Lock()
 				f.OnMetrics(m)
@@ -477,14 +542,17 @@ func (s *Server) Err() error {
 
 // Handler serves the live observability surface: /metrics (OpenMetrics
 // exposition, when WithExporter), /flight (flight-recorder dumps, when
-// WithFlight) and /stats (ingest counters, plain text).
+// WithFlight), /slo (the SLO verdict as JSON, when WithSLO), /stats
+// (ingest counters, plain text) and /health (readiness, always). All
+// endpoints are GET-only; the Go 1.22 method patterns answer other
+// verbs with 405.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	if s.exporter != nil {
-		mux.Handle("/metrics", s.exporter)
+		mux.Handle("GET /metrics", s.exporter)
 	}
 	if s.flight != nil {
-		mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		mux.HandleFunc("GET /flight", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			s.flightMu.Lock()
 			defer s.flightMu.Unlock()
@@ -493,13 +561,78 @@ func (s *Server) Handler() http.Handler {
 			}
 		})
 	}
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+	if s.slo != nil {
+		mux.HandleFunc("GET /slo", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			s.sloMu.Lock()
+			defer s.sloMu.Unlock()
+			if err := s.slo.WriteJSON(w, s.sloMeta); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
 		st := s.Stats()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "submitted %d\ncompleted %d\nepochs %d\nelapsed_seconds %.3f\njobs_per_sec %.1f\n",
 			st.Submitted, st.Completed, st.Epochs, st.Elapsed.Seconds(), st.JobsPerSec)
 	})
+	mux.HandleFunc("GET /health", func(w http.ResponseWriter, _ *http.Request) {
+		status, reasons := s.health()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if status == "unhealthy" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintf(w, "status %s\n", status)
+		for _, r := range reasons {
+			fmt.Fprintf(w, "reason %s\n", r)
+		}
+	})
 	return mux
+}
+
+// health rolls the server's signals into one verdict: unhealthy (503)
+// on a scheduling error or an exhausted error budget, degraded on a
+// live burn-rate alert, a near-full admission frontier, or full device
+// saturation at the last drain instant, else ready. The reasons list
+// every contributing signal, worst first.
+func (s *Server) health() (status string, reasons []string) {
+	if err := s.Err(); err != nil {
+		reasons = append(reasons, "run-error: "+strings.ReplaceAll(err.Error(), "\n", " "))
+	}
+	var degraded []string
+	s.sloMu.Lock()
+	if s.slo != nil {
+		for _, name := range s.slo.Exhausted() {
+			reasons = append(reasons, "slo-budget-exhausted: "+name)
+		}
+		for _, name := range s.slo.Alerting() {
+			degraded = append(degraded, "slo-alert: "+name)
+		}
+	}
+	snap, seen := s.lastSnap, s.snapSeen
+	s.sloMu.Unlock()
+	if len(reasons) > 0 {
+		return "unhealthy", append(reasons, degraded...)
+	}
+	if occ := len(s.frontier); occ*10 >= s.queueCap*9 {
+		degraded = append(degraded, fmt.Sprintf("ingest-backpressure: frontier %d/%d", occ, s.queueCap))
+	}
+	if seen && len(snap.Devices) > 0 {
+		saturated := 0
+		for i := range snap.Devices {
+			if snap.Devices[i].Utilization > 0.95 {
+				saturated++
+			}
+		}
+		if saturated == len(snap.Devices) {
+			degraded = append(degraded, fmt.Sprintf("device-saturation: all %d devices above 95%% utilization", saturated))
+		}
+	}
+	if len(degraded) > 0 {
+		return "degraded", degraded
+	}
+	return "ready", nil
 }
 
 // ListenAndServe serves Handler on addr; it blocks like

@@ -134,6 +134,10 @@ type Event struct {
 	// Place decision, when the placement policy exposes its scores
 	// (predicted/affinity do; load-blind policies leave it nil).
 	Scores []Score
+	// Deadline echoes the job's declared relative deadline on Admit (0
+	// when the job has none), so SLO evaluators can judge the later
+	// Complete event without reaching back into the job spec.
+	Deadline sim.Duration
 }
 
 // Recorder accumulates scheduling events and drain-instant metrics

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# bench_trend.sh — fold the recorded BENCH_*.json points into one
+# perf-trajectory file and gate on throughput regressions.
+#
+# Usage: scripts/bench_trend.sh [run-id]
+#
+# Reads every bench/BENCH_*.json point (bench.sh writes one per run,
+# CI accumulates them as artifacts next to the committed baseline),
+# merges the jobs/s throughput series into bench/TREND_<run-id>.json —
+# one series per benchmark name, points in file order, so the
+# trajectory of the admission-path hot numbers reads as one document —
+# and then compares the named run's point against
+# bench/BENCH_baseline.json: any throughput series that dropped more
+# than THRESHOLD (default 10%) below the baseline fails the script
+# with exit 1, naming the series and both numbers. A new series with
+# no baseline entry is reported but not gated (the next baseline
+# refresh picks it up).
+#
+# ns/op numbers at -benchtime 1x are smoke readings and far too noisy
+# to gate on; the jobs/s series are sustained-rate measurements over
+# thousands of admissions, where a >10% drop is a real regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run="${1:-local}"
+threshold="${THRESHOLD:-10}"
+baseline="bench/BENCH_baseline.json"
+latest="bench/BENCH_${run}.json"
+out="bench/TREND_${run}.json"
+
+if [ ! -f "$baseline" ]; then
+  echo "bench_trend.sh: no $baseline — nothing to gate against" >&2
+  exit 1
+fi
+if [ ! -f "$latest" ]; then
+  echo "bench_trend.sh: no $latest — run scripts/bench.sh $run first" >&2
+  exit 1
+fi
+
+# extract_throughput FILE prints "name jobs_per_s" per series in the
+# file's throughput array.
+extract_throughput() {
+  awk '
+    /"throughput": \[/ { in_tp = 1; next }
+    in_tp && /^  \]/   { in_tp = 0 }
+    in_tp && /"name":/ {
+      name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+      rate = $0; sub(/.*"jobs_per_s": /, "", rate); sub(/[,}].*/, "", rate)
+      print name, rate
+    }
+  ' "$1"
+}
+
+# The merged trajectory: every point's series, grouped by name, in
+# stable (sorted-file, then file-order) sequence.
+mkdir -p bench
+{
+  printf '{\n  "run": "%s",\n  "threshold_pct": %s,\n  "series": [\n' "$run" "$threshold"
+  first_series=1
+  # Series names, sorted for a stable document.
+  for name in $(for f in bench/BENCH_*.json; do extract_throughput "$f"; done | awk '{print $1}' | sort -u); do
+    [ "$first_series" -eq 1 ] || printf ',\n'
+    first_series=0
+    printf '    {"name": "%s", "points": [' "$name"
+    first_pt=1
+    for f in $(ls bench/BENCH_*.json | sort); do
+      pt_run=$(awk '/"run":/ { sub(/.*"run": "/, ""); sub(/".*/, ""); print; exit }' "$f")
+      rate=$(extract_throughput "$f" | awk -v n="$name" '$1 == n { print $2; exit }')
+      [ -n "$rate" ] || continue
+      [ "$first_pt" -eq 1 ] || printf ', '
+      first_pt=0
+      printf '{"run": "%s", "jobs_per_s": %s}' "$pt_run" "$rate"
+    done
+    printf ']}'
+  done
+  printf '\n  ]\n}\n'
+} > "$out"
+echo "wrote $out ($(ls bench/BENCH_*.json | wc -l | tr -d ' ') points merged)"
+
+# The gate: the named run vs the baseline, series by series.
+status=0
+while read -r name rate; do
+  base=$(extract_throughput "$baseline" | awk -v n="$name" '$1 == n { print $2; exit }')
+  if [ -z "$base" ]; then
+    echo "bench_trend: $name: new series (${rate} jobs/s), no baseline to gate against"
+    continue
+  fi
+  verdict=$(awk -v b="$base" -v r="$rate" -v t="$threshold" 'BEGIN {
+    drop = (b - r) / b * 100
+    if (drop > t) printf "REGRESSION %.1f", drop
+    else if (drop > 0) printf "ok -%.1f", drop
+    else printf "ok +%.1f", (drop < 0 ? -drop : 0)
+  }')
+  case "$verdict" in
+    REGRESSION*)
+      pct=${verdict#REGRESSION }
+      echo "bench_trend: $name: ${rate} jobs/s is ${pct}% below baseline ${base} (gate: ${threshold}%)" >&2
+      status=1
+      ;;
+    *)
+      echo "bench_trend: $name: ${rate} vs baseline ${base} jobs/s (${verdict#ok })"
+      ;;
+  esac
+done < <(extract_throughput "$latest")
+
+if [ "$status" -ne 0 ]; then
+  echo "bench_trend: FAILED — throughput regressed more than ${threshold}% vs baseline" >&2
+  exit 1
+fi
+echo "bench_trend: ok (no series more than ${threshold}% below baseline)"

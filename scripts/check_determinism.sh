@@ -18,12 +18,17 @@
 #     or carry a nearby comment marking it order-independent /
 #     sorted, so the exemption is visible at the loop.
 #
-# Scope: internal/{sim,sched,cluster,telemetry,obs}, non-test files
-# (tests may use wall clocks for timeouts and maps for assertions).
+# Scope: internal/{sim,sched,cluster,telemetry,obs,slo}, non-test
+# files (tests may use wall clocks for timeouts and maps for
+# assertions).
+#
+# A dynamic check rides along: two back-to-back `miccluster -slo`
+# runs of the same seed must write byte-identical SLO reports — the
+# artifact-level determinism the static lint protects.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-dirs="internal/sim internal/sched internal/cluster internal/telemetry internal/obs"
+dirs="internal/sim internal/sched internal/cluster internal/telemetry internal/obs internal/slo"
 status=0
 
 if out=$(grep -rn --include='*.go' -E 'time\.(Now|Since|Until|Sleep)\(' $dirs | grep -v '_test.go'); then
@@ -85,4 +90,24 @@ if [ "$status" -ne 0 ]; then
   echo "check_determinism: FAILED" >&2
   exit 1
 fi
-echo "check_determinism: ok (no wall-clock reads, all map iterations ordered or annotated)"
+
+# Byte-identity of the SLO artifact: same seed, same spec, two runs,
+# one diff. Catches any nondeterminism the static lint's scope misses
+# (float formatting, map order in a rendered report, hidden clocks).
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cat > "$tmp/spec.json" <<'EOF'
+{"objectives": [
+  {"tenant": "A", "name": "a-lat", "kind": "latency", "target": 0.9, "threshold": "1500us", "fast_burn": 8, "slow_burn": 4},
+  {"tenant": "B", "name": "b-deadline", "kind": "deadline", "target": 0.8, "threshold": "2ms"}
+]}
+EOF
+go run ./cmd/miccluster -njobs=24 -seed=3 -slo "$tmp/spec.json" -slo-json "$tmp/SLO_a.json" > /dev/null
+go run ./cmd/miccluster -njobs=24 -seed=3 -slo "$tmp/spec.json" -slo-json "$tmp/SLO_b.json" > /dev/null
+if ! cmp -s "$tmp/SLO_a.json" "$tmp/SLO_b.json"; then
+  echo "check_determinism: FAILED — back-to-back SLO reports differ:" >&2
+  diff "$tmp/SLO_a.json" "$tmp/SLO_b.json" >&2 || true
+  exit 1
+fi
+
+echo "check_determinism: ok (no wall-clock reads, all map iterations ordered or annotated, SLO reports byte-identical)"
